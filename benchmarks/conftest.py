@@ -1,0 +1,62 @@
+"""Shared fixtures and models for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  The paper's
+machines checked 10^5 states and tested for days; the benches use
+scaled-down model constants (documented per bench) that preserve the
+*shape* of each result — orderings, reduction ratios, divergence kinds.
+"""
+
+import pytest
+
+from repro.specs.raft import RaftSpecOptions, build_raft_spec
+from repro.specs.zab import ZabSpecOptions, build_zab_spec
+from repro.tlaplus import check
+
+# The three scaled-down models used for Tables 1 and 3.  Their relative
+# sizes mirror the paper's: ZooKeeper > Xraft > Raft-java.
+XRAFT_MODEL_OPTS = dict(
+    servers=("n1", "n2", "n3"), max_term=1, max_client_requests=0,
+    enable_restart=True, enable_drop=True, enable_duplicate=True,
+    max_restarts=1, max_drops=1, max_duplicates=1,
+    candidates=("n1",), name="xraft-model",
+)
+RAFTKV_MODEL_OPTS = dict(
+    servers=("n1", "n2", "n3"), max_term=1, max_client_requests=0,
+    enable_restart=True, max_restarts=1,
+    enable_drop=False, enable_duplicate=False,
+    candidates=("n1",), name="raftkv-model",
+)
+ZAB_MODEL_OPTS = dict(
+    servers=("n1", "n2", "n3"), max_elections=1,
+    max_crashes=0, max_restarts=0, starters=("n3",), name="zookeeper-model",
+)
+
+
+@pytest.fixture(scope="session")
+def xraft_model():
+    spec = build_raft_spec(RaftSpecOptions(**XRAFT_MODEL_OPTS))
+    return spec, check(spec, max_states=120000).graph
+
+
+@pytest.fixture(scope="session")
+def raftkv_model():
+    spec = build_raft_spec(RaftSpecOptions(**RAFTKV_MODEL_OPTS))
+    return spec, check(spec, max_states=120000).graph
+
+
+@pytest.fixture(scope="session")
+def zab_model():
+    spec = build_zab_spec(ZabSpecOptions(**ZAB_MODEL_OPTS))
+    return spec, check(spec, max_states=120000).graph
+
+
+def print_table(title, headers, rows):
+    """Render one paper table with measured-vs-paper columns."""
+    widths = [max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+              for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

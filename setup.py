@@ -1,0 +1,4 @@
+"""Thin setup.py so editable installs work offline (no wheel package available)."""
+from setuptools import setup
+
+setup()

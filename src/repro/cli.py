@@ -1,0 +1,253 @@
+"""``mocket`` — the command-line front end.
+
+Subcommands mirror the pipeline stages:
+
+* ``mocket check MODEL``   — model-check a built-in model, optionally
+  dumping the state-space graph as DOT (TLC's ``-dump dot``),
+* ``mocket testgen MODEL`` — generate test cases (EC / EC+POR stats),
+* ``mocket test TARGET``   — controlled testing of a system under test
+  against its model, with optional seeded bugs,
+* ``mocket bugs``          — replay all nine Table 2 bug scenarios.
+
+Models: ``example``, ``xraft``, ``raftkv``, ``zab``.
+Targets: ``toycache``, ``pyxraft``, ``raftkv``, ``minizk``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from .core import ControlledTester, RunnerConfig, generate_test_cases
+from .tlaplus import check, write_dot
+
+__all__ = ["main"]
+
+_RUNNER = RunnerConfig(match_timeout=1.0, done_timeout=1.0, quiesce_delay=0.05)
+
+
+def _build_model(name: str):
+    if name == "example":
+        from .specs import build_example_spec
+
+        return build_example_spec()
+    if name == "xraft":
+        from .specs.raft import RaftSpecOptions, build_raft_spec
+
+        return build_raft_spec(RaftSpecOptions(
+            max_term=1, max_client_requests=0, candidates=("n1",),
+            name="xraft-model",
+        ))
+    if name == "raftkv":
+        from .specs.raft import RaftSpecOptions, build_raft_spec
+
+        return build_raft_spec(RaftSpecOptions(
+            max_term=1, max_client_requests=0, candidates=("n1",),
+            enable_drop=False, enable_duplicate=False, name="raftkv-model",
+        ))
+    if name == "zab":
+        from .specs.zab import ZabSpecOptions, build_zab_spec
+
+        return build_zab_spec(ZabSpecOptions(
+            max_elections=1, max_crashes=0, max_restarts=0, starters=("n3",),
+            name="zab-model",
+        ))
+    raise SystemExit(f"unknown model {name!r} (example|xraft|raftkv|zab)")
+
+
+def _target_kit(name: str, bugs):
+    """(spec, mapping, cluster factory) for a system under test."""
+    bug_flags = set(bugs or ())
+
+    def flags(prefix, known):
+        selected = {}
+        for flag in bug_flags:
+            if flag not in known:
+                raise SystemExit(
+                    f"unknown bug {flag!r} for {name}; known: {sorted(known)}")
+            selected[flag] = True
+        return selected
+
+    if name == "toycache":
+        from .specs import build_example_spec
+        from .systems.toycache import (
+            ToyCacheConfig, build_toycache_mapping, make_toycache_cluster,
+        )
+
+        known = {"bug_wrong_max", "bug_forget_respond", "bug_double_respond"}
+        config = ToyCacheConfig(**flags("toycache", known))
+        spec = build_example_spec()
+        return spec, build_toycache_mapping(), lambda: make_toycache_cluster(config)
+    if name == "pyxraft":
+        from .systems.pyxraft import (
+            XraftConfig, build_xraft_mapping, make_xraft_cluster,
+        )
+
+        known = {"bug_duplicate_vote_count", "bug_votedfor_not_persisted",
+                 "bug_stale_vote_grant"}
+        config = XraftConfig(**flags("pyxraft", known))
+        spec = _build_model("xraft")
+        return (spec, build_xraft_mapping(spec, config),
+                lambda: make_xraft_cluster(("n1", "n2", "n3"), config))
+    if name == "raftkv":
+        from .systems.raftkv import (
+            RaftKvConfig, build_raftkv_mapping, make_raftkv_cluster,
+        )
+
+        known = {"bug_drop_higher_term_response", "bug_append_no_truncate"}
+        config = RaftKvConfig(**flags("raftkv", known))
+        spec = _build_model("raftkv")
+        return (spec, build_raftkv_mapping(spec, config),
+                lambda: make_raftkv_cluster(("n1", "n2", "n3"), config))
+    if name == "minizk":
+        from .systems.minizk import (
+            MiniZkConfig, build_minizk_mapping, make_minizk_cluster,
+        )
+
+        known = {"bug_rebroadcast_on_worse_vote", "bug_epoch_mismatch_abort"}
+        config = MiniZkConfig(**flags("minizk", known))
+        spec = _build_model("zab")
+        return (spec, build_minizk_mapping(spec, config),
+                lambda: make_minizk_cluster(("n1", "n2", "n3"), config))
+    raise SystemExit(f"unknown target {name!r} (toycache|pyxraft|raftkv|minizk)")
+
+
+def _cmd_check(args) -> int:
+    spec = _build_model(args.model)
+    result = check(spec, max_states=args.max_states, truncate=True)
+    print(result.summary())
+    if args.dot:
+        write_dot(result.graph, args.dot)
+        print(f"state-space graph written to {args.dot}")
+    return 0 if result.ok else 1
+
+
+def _cmd_testgen(args) -> int:
+    spec = _build_model(args.model)
+    graph = check(spec, max_states=args.max_states, truncate=True).graph
+    suite_ec = generate_test_cases(graph, por=False)
+    suite_por = generate_test_cases(graph, por=True, seed=args.seed)
+    print(f"model: {graph.num_states} states, {graph.num_edges} edges")
+    print(f"PathEC:     {len(suite_ec)} cases, {suite_ec.total_actions()} actions")
+    print(f"PathEC+POR: {len(suite_por)} cases, {suite_por.total_actions()} actions "
+          f"({suite_por.excluded_edges} edges dropped)")
+    if args.show:
+        for case in list(suite_por)[: args.show]:
+            print(f"  #{case.case_id}: {case.describe()}")
+    if args.out:
+        suite_por.save(args.out)
+        print(f"EC+POR suite written to {args.out}")
+    return 0
+
+
+def _cmd_test(args) -> int:
+    spec, mapping, cluster_factory = _target_kit(args.target, args.bug)
+    graph = check(spec, max_states=args.max_states, truncate=True).graph
+    if args.suite:
+        from .core.testgen import TestSuite
+
+        suite = TestSuite.load(args.suite)
+    else:
+        suite = generate_test_cases(graph, por=not args.no_por, seed=args.seed)
+    tester = ControlledTester(mapping, graph, cluster_factory, _RUNNER)
+    print(f"running up to {args.cases or len(suite)} of {len(suite)} cases "
+          f"against {args.target} "
+          f"({'buggy: ' + ','.join(args.bug) if args.bug else 'correct'})")
+    started = time.monotonic()
+    outcome = tester.run_suite(suite, stop_on_divergence=args.stop_on_bug,
+                               max_cases=args.cases)
+    elapsed = time.monotonic() - started
+    print(f"{outcome.summary()} ({elapsed:.1f}s wall clock)")
+    for failing in outcome.failures[:5]:
+        print(f"  case #{failing.case.case_id}: {failing.divergence.headline()}")
+        print(f"    schedule: {failing.case.describe()[:160]}")
+    return 0 if outcome.passed else 1
+
+
+def _cmd_bugs(args) -> int:
+    from .systems.minizk import MiniZkConfig, build_minizk_mapping, make_minizk_cluster
+    from .systems.minizk.scenarios import zk_bug_1419, zk_bug_1653
+    from .systems.pyxraft import build_xraft_mapping, make_xraft_cluster
+    from .systems.pyxraft.scenarios import xraft_bug1, xraft_bug2, xraft_bug3
+    from .systems.raftkv import build_raftkv_mapping, make_raftkv_cluster
+    from .systems.raftkv.scenarios import (
+        raft_spec_bug_missing_reply, raft_spec_bug_update_term,
+        raftkv_bug1, raftkv_bug2,
+    )
+
+    kits = {
+        "xraft": (build_xraft_mapping, make_xraft_cluster),
+        "raftkv": (build_raftkv_mapping, make_raftkv_cluster),
+        "minizk": (build_minizk_mapping, make_minizk_cluster),
+    }
+    scenarios = [
+        (xraft_bug1, "xraft"), (xraft_bug2, "xraft"), (xraft_bug3, "xraft"),
+        (raftkv_bug1, "raftkv"), (raftkv_bug2, "raftkv"),
+        (zk_bug_1419, "minizk"), (zk_bug_1653, "minizk"),
+        (raft_spec_bug_missing_reply, "raftkv"),
+        (raft_spec_bug_update_term, "raftkv"),
+    ]
+    failures = 0
+    for build, kit in scenarios:
+        scenario = build()
+        build_mapping, make_cluster = kits[kit]
+        tester = ControlledTester(
+            build_mapping(scenario.spec, scenario.buggy_config), scenario.graph,
+            lambda: make_cluster(scenario.servers, scenario.buggy_config),
+            _RUNNER,
+        )
+        result = tester.run_case(scenario.case)
+        if result.passed:
+            print(f"{scenario.name}: NOT DETECTED (unexpected)")
+            failures += 1
+        else:
+            print(f"{scenario.name}: {result.divergence.headline()} "
+                  f"({len(scenario.case)} actions)")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mocket",
+        description="Model checking guided testing for distributed systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="model-check a built-in model")
+    p_check.add_argument("model")
+    p_check.add_argument("--max-states", type=int, default=100_000)
+    p_check.add_argument("--dot", help="dump the state-space graph to this file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_gen = sub.add_parser("testgen", help="generate test cases from a model")
+    p_gen.add_argument("model")
+    p_gen.add_argument("--max-states", type=int, default=100_000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--show", type=int, default=0,
+                       help="print the first N generated cases")
+    p_gen.add_argument("--out", help="save the EC+POR suite to a JSON file")
+    p_gen.set_defaults(func=_cmd_testgen)
+
+    p_test = sub.add_parser("test", help="controlled testing of a target")
+    p_test.add_argument("target")
+    p_test.add_argument("--bug", action="append", default=[],
+                        help="seed a bug flag (repeatable)")
+    p_test.add_argument("--cases", type=int, default=None)
+    p_test.add_argument("--max-states", type=int, default=100_000)
+    p_test.add_argument("--seed", type=int, default=0)
+    p_test.add_argument("--no-por", action="store_true")
+    p_test.add_argument("--suite", help="run a suite saved by 'testgen --out'")
+    p_test.add_argument("--stop-on-bug", action="store_true")
+    p_test.set_defaults(func=_cmd_test)
+
+    p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")
+    p_bugs.set_defaults(func=_cmd_bugs)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

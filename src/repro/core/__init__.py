@@ -1,0 +1,59 @@
+"""Mocket core: the paper's primary contribution.
+
+Three stages, mirroring Section 4:
+
+* :mod:`repro.core.mapping` — map a specification to its implementation
+  (variable/action/constant mapping, annotations, instrumentation hooks),
+* :mod:`repro.core.testgen` — generate executable test cases from the
+  model-checked state-space graph (edge-coverage-guided traversal with
+  partial order reduction),
+* :mod:`repro.core.testbed` — controlled testing: action scheduler,
+  state checker, fault injection and divergence reporting.
+"""
+
+from .mapping import (
+    FaultKind,
+    MappingError,
+    MessageCheckMode,
+    SpecMapping,
+    TriggerKind,
+    action_span,
+    get_msg,
+    mocket_action,
+    mocket_receive,
+    record_var,
+    traced_field,
+)
+from .testbed import (
+    ControlledTester,
+    Divergence,
+    DivergenceKind,
+    RunnerConfig,
+    SuiteResult,
+    TestCaseResult,
+)
+from .testgen import TestCase, TestStep, TestSuite, generate_test_cases
+
+__all__ = [
+    "ControlledTester",
+    "Divergence",
+    "DivergenceKind",
+    "FaultKind",
+    "MappingError",
+    "MessageCheckMode",
+    "RunnerConfig",
+    "SpecMapping",
+    "SuiteResult",
+    "TestCase",
+    "TestCaseResult",
+    "TestStep",
+    "TestSuite",
+    "TriggerKind",
+    "action_span",
+    "generate_test_cases",
+    "get_msg",
+    "mocket_action",
+    "mocket_receive",
+    "record_var",
+    "traced_field",
+]

@@ -1,0 +1,32 @@
+"""Mapping a TLA+ specification to its implementation (Section 4.1)."""
+
+from .annotations import (
+    ActionScope,
+    action_span,
+    current_scope,
+    get_msg,
+    mocket_action,
+    mocket_receive,
+    record_var,
+    traced_field,
+)
+from .kinds import FaultKind, MessageCheckMode, TriggerKind
+from .registry import ActionMapping, MappingError, SpecMapping, VariableMapping
+
+__all__ = [
+    "ActionMapping",
+    "ActionScope",
+    "FaultKind",
+    "MappingError",
+    "MessageCheckMode",
+    "SpecMapping",
+    "TriggerKind",
+    "VariableMapping",
+    "action_span",
+    "current_scope",
+    "get_msg",
+    "mocket_action",
+    "mocket_receive",
+    "record_var",
+    "traced_field",
+]

@@ -1,0 +1,229 @@
+"""Instrumentation hooks — the Python analogue of Mocket's annotations.
+
+The paper instruments Java systems with ``@Variable``/``@Action``
+annotations plus ASM-generated hooks (shadow fields, notify-and-block,
+state collection).  In Python the same observable hooks are:
+
+* :class:`traced_field` — a descriptor; every assignment also updates
+  the node's shadow store (the ``Mocket$x`` shadow field),
+* :func:`record_var` — explicit shadow update for *method variables*
+  (the paper's ``<SpecName, ImplName, Location>`` configuration tuples),
+* :func:`mocket_action` — decorator mapping a method to a single-node
+  or message-sending action (``@Action`` + ``notifyAndBlock`` +
+  ``checkAllStates``),
+* :func:`mocket_receive` — decorator for message-receiving actions; the
+  received message content is sent with the notification, and the body
+  honours the drop-fault switch,
+* :func:`action_span` — context manager mapping a *code snippet* to an
+  action (the paper's ``Action.begin``/``Action.end``),
+* :func:`get_msg` — records an outgoing message's content
+  (``Action.getMsg``) into the current action scope.
+
+Every hook is a no-op when the node's cluster has no active Mocket
+runtime, so instrumented systems run unchanged in production mode.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "traced_field",
+    "record_var",
+    "mocket_action",
+    "mocket_receive",
+    "action_span",
+    "get_msg",
+    "current_scope",
+]
+
+_tls = threading.local()
+
+
+def _runtime(node) -> Optional[Any]:
+    """The active Mocket runtime controlling ``node``'s cluster, if any."""
+    runtime = getattr(node.cluster, "mocket_runtime", None)
+    if runtime is not None and runtime.active:
+        return runtime
+    return None
+
+
+def current_scope():
+    """The innermost open action scope on this thread (None outside)."""
+    stack = getattr(_tls, "scopes", None)
+    return stack[-1] if stack else None
+
+
+def _push_scope(scope) -> None:
+    stack = getattr(_tls, "scopes", None)
+    if stack is None:
+        stack = []
+        _tls.scopes = stack
+    stack.append(scope)
+
+
+def _pop_scope(scope) -> None:
+    stack = getattr(_tls, "scopes", [])
+    if stack and stack[-1] is scope:
+        stack.pop()
+
+
+class traced_field:
+    """Descriptor that mirrors every assignment into the node's shadow store.
+
+    ``state = traced_field("nodeState")`` is the analogue of annotating
+    the ``state`` field with ``@Variable("nodeState")``: Mocket's state
+    checker reads the shadow store, never the field itself.
+    """
+
+    def __init__(self, spec_name: str):
+        self.spec_name = spec_name
+        self.attr = None
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.attr = f"_traced_{name}"
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        try:
+            return getattr(obj, self.attr)
+        except AttributeError:
+            raise AttributeError(
+                f"traced field {self.spec_name!r} read before first assignment"
+            ) from None
+
+    def __set__(self, obj, value) -> None:
+        setattr(obj, self.attr, value)
+        obj.mocket_shadow[self.spec_name] = value
+
+
+def record_var(node, spec_name: str, value: Any) -> None:
+    """Shadow update for a method variable (configuration-tuple mapping)."""
+    node.mocket_shadow[spec_name] = value
+
+
+class ActionScope:
+    """One in-flight instrumented action on one node."""
+
+    __slots__ = ("node", "name", "params", "recv_msg", "msg_var", "directive",
+                 "sent_messages", "ticket")
+
+    def __init__(self, node, name: str, params: Dict[str, Any],
+                 recv_msg: Optional[Dict[str, Any]] = None,
+                 msg_var: Optional[str] = None):
+        self.node = node
+        self.name = name
+        self.params = params
+        self.recv_msg = recv_msg
+        self.msg_var = msg_var
+        self.directive = "normal"
+        self.sent_messages = []  # [(msg_var, fields_dict), ...]
+        self.ticket = None
+
+    @property
+    def dropped(self) -> bool:
+        return self.directive == "drop"
+
+
+class action_span:
+    """Context manager mapping a code snippet to an action.
+
+    ``with action_span(self, "StartElection", {"i": self.node_id}): ...``
+    is ``Action.begin`` + ``notifyAndBlock`` on entry and
+    ``checkAllStates`` + ``Action.end`` on exit.  Outside controlled
+    testing it is free.
+    """
+
+    def __init__(self, node, name: str, params: Optional[Dict[str, Any]] = None,
+                 recv_msg: Optional[Dict[str, Any]] = None,
+                 msg_var: Optional[str] = None):
+        self.scope = ActionScope(node, name, dict(params or {}),
+                                 recv_msg=recv_msg, msg_var=msg_var)
+        self.runtime = _runtime(node)
+
+    def __enter__(self) -> ActionScope:
+        if self.runtime is not None:
+            self.runtime.begin_action(self.scope)
+        _push_scope(self.scope)
+        return self.scope
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _pop_scope(self.scope)
+        if self.runtime is not None:
+            self.runtime.end_action(self.scope, failed=exc_type is not None)
+
+
+def get_msg(node, msg_var: str, **fields: Any) -> None:
+    """Record an outgoing message's content (``Action.getMsg``).
+
+    Must be called inside an instrumented action, at a program point
+    where every field value is available.  Field names must match the
+    spec's message record fields.
+    """
+    scope = current_scope()
+    if scope is None:
+        runtime = _runtime(node)
+        if runtime is None:
+            return  # standalone run: nothing to record
+        raise RuntimeError(
+            f"get_msg({msg_var!r}) called outside an instrumented action"
+        )
+    scope.sent_messages.append((msg_var, dict(fields)))
+
+
+def mocket_action(name: str,
+                  params: Optional[Callable[..., Dict[str, Any]]] = None):
+    """Decorator mapping a method to a single-node / message-sending action.
+
+    ``params(self, *args, **kwargs)`` computes the action's parameter
+    binding (``Action.collectParams``); values are implementation-domain
+    and are translated through the constant table by the testbed.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if _runtime(self) is None:
+                return fn(self, *args, **kwargs)
+            bound = params(self, *args, **kwargs) if params is not None else {}
+            with action_span(self, name, bound):
+                return fn(self, *args, **kwargs)
+
+        wrapper.mocket_action_name = name
+        return wrapper
+
+    return decorator
+
+
+def mocket_receive(name: str, msg_var: str,
+                   params: Optional[Callable[..., Dict[str, Any]]] = None,
+                   msg: Optional[Callable[..., Dict[str, Any]]] = None):
+    """Decorator mapping a method to a message-receiving action.
+
+    ``msg(self, *args, **kwargs)`` extracts the received message's
+    content; it is sent with the notification so the testbed can match
+    it against the scheduled step and operate the drop/duplicate switch.
+    When the scheduler schedules a *drop* fault for this message the
+    handler body is skipped (the paper's overridden action).
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if _runtime(self) is None:
+                return fn(self, *args, **kwargs)
+            bound = params(self, *args, **kwargs) if params is not None else {}
+            content = msg(self, *args, **kwargs) if msg is not None else {}
+            with action_span(self, name, bound, recv_msg=content,
+                             msg_var=msg_var) as scope:
+                if scope.dropped:
+                    return None  # drop fault: skip the handler body
+                return fn(self, *args, **kwargs)
+
+        wrapper.mocket_action_name = name
+        return wrapper
+
+    return decorator

@@ -1,0 +1,52 @@
+"""Mapping categories (Sections 4.1.1 and 4.1.2).
+
+Variables and actions in a TLA+ specification fall into categories that
+determine *how* they map onto the implementation:
+
+* state-related variables → annotated fields (shadow variables),
+* message-related variables → testbed message sets,
+* action counters / auxiliary variables → not mapped at all;
+
+* single-node and message-related actions → *spontaneous*: they occur
+  while the system runs and the testbed waits for their notification,
+* external faults and user requests → *triggered*: the testbed causes
+  them (fault scripts / client scripts).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["TriggerKind", "FaultKind", "MessageCheckMode"]
+
+
+class TriggerKind(enum.Enum):
+    """How the testbed makes an action happen during controlled testing."""
+
+    SPONTANEOUS = "spontaneous"   # wait for the instrumented notification
+    USER_REQUEST = "user_request"  # invoke a client script, then wait
+    FAULT = "fault"                # invoke a fault script / message fault
+
+
+class FaultKind(enum.Enum):
+    """The four external faults Mocket supports (Section 4.1.2)."""
+
+    CRASH = "crash"
+    RESTART = "restart"
+    DROP_MESSAGE = "drop_message"
+    DUPLICATE_MESSAGE = "duplicate_message"
+
+
+class MessageCheckMode(enum.Enum):
+    """How strictly message-related variables are compared.
+
+    ``STRICT`` compares the full message bag after every action — this
+    is what reveals Raft specification bug #1 (a message the spec keeps
+    in flight that the implementation consumed).  ``CONSUME`` validates
+    messages only when they are consumed (the scheduled receive action's
+    message content must match); systems whose specs abstract response
+    contents use this mode.
+    """
+
+    STRICT = "strict"
+    CONSUME = "consume"

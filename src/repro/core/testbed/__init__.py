@@ -1,0 +1,31 @@
+"""Controlled testing: scheduler, state checker, faults, reports (Section 4.3)."""
+
+from .messages import MessageSets, UnknownMessage
+from .report import (
+    Divergence,
+    DivergenceKind,
+    SuiteResult,
+    TestCaseResult,
+    VariableDivergence,
+)
+from .runner import ControlledTester, RunnerConfig
+from .runtime import MocketRuntime
+from .scheduler import ActionScheduler, Notification
+from .statecheck import UNREPORTED, StateChecker
+
+__all__ = [
+    "ActionScheduler",
+    "ControlledTester",
+    "Divergence",
+    "DivergenceKind",
+    "MessageSets",
+    "MocketRuntime",
+    "Notification",
+    "RunnerConfig",
+    "StateChecker",
+    "SuiteResult",
+    "TestCaseResult",
+    "UNREPORTED",
+    "UnknownMessage",
+    "VariableDivergence",
+]

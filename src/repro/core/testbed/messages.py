@@ -1,0 +1,83 @@
+"""Testbed message sets for message-related variables (Section 4.1.1).
+
+Message-related TLA+ variables (``messages``, ``le_msgs``, ``bc_msgs``)
+have no counterpart in the implementation, so Mocket's testbed keeps
+one multiset per variable: a sending action's ``Action.getMsg`` adds
+the message, a matched receiving action removes it.  The state checker
+then compares these bags against the verified state's message
+variables.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+from ...tlaplus.values import EMPTY_BAG, FrozenDict, bag_add, bag_remove, freeze
+
+__all__ = ["UnknownMessage", "MessageSets"]
+
+
+class UnknownMessage(Exception):
+    """A received message was never recorded as sent (or already consumed)."""
+
+    def __init__(self, variable: str, message: Any):
+        self.variable = variable
+        self.message = message
+        super().__init__(f"message not in flight in {variable!r}: {message!r}")
+
+
+class MessageSets:
+    """One bag per message-related variable, spec-domain values."""
+
+    def __init__(self, variables: List[str]):
+        self._bags: Dict[str, FrozenDict] = {name: EMPTY_BAG for name in variables}
+        self._lock = threading.Lock()
+
+    def variables(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bags)
+
+    def add(self, variable: str, message: Any) -> None:
+        """Record a sent (or duplicated) message."""
+        message = freeze(message)
+        with self._lock:
+            self._require(variable)
+            self._bags[variable] = bag_add(self._bags[variable], message)
+
+    def remove(self, variable: str, message: Any) -> None:
+        """Consume a received (or dropped) message.
+
+        Raises :class:`UnknownMessage` when the implementation received
+        something the testbed never saw sent — itself a divergence.
+        """
+        message = freeze(message)
+        with self._lock:
+            self._require(variable)
+            try:
+                self._bags[variable] = bag_remove(self._bags[variable], message)
+            except KeyError:
+                raise UnknownMessage(variable, message) from None
+
+    def as_bag(self, variable: str) -> FrozenDict:
+        with self._lock:
+            self._require(variable)
+            return self._bags[variable]
+
+    def snapshot(self) -> Dict[str, FrozenDict]:
+        with self._lock:
+            return dict(self._bags)
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._bags:
+                self._bags[name] = EMPTY_BAG
+
+    def _require(self, variable: str) -> None:
+        if variable not in self._bags:
+            raise KeyError(f"unknown message variable {variable!r}")
+
+    def __repr__(self) -> str:
+        with self._lock:
+            sizes = {name: sum(bag.values()) for name, bag in self._bags.items()}
+        return f"MessageSets({sizes})"

@@ -1,0 +1,274 @@
+"""Controlled testing orchestration (Sections 4.3.2-4.3.3).
+
+:class:`ControlledTester` runs test cases against the system under
+test.  For every case it deploys a fresh cluster, checks the initial
+state, then walks the action sequence:
+
+* *spontaneous* actions — wait for the matching notification, consume
+  its message (for receives), enable it, wait for completion,
+* *user requests* — invoke the client script in its own thread, then
+  wait for the resulting notification,
+* *faults* — run the crash/restart script, operate the drop switch on
+  the matching receive, or re-inject the duplicated message.
+
+After each action the state checker compares the runtime state against
+the verified state.  At the end of a case, leftover notifications that
+match no enabled transition of the final verified state are reported as
+unexpected actions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from typing import Callable, List, Optional
+
+from ...runtime.cluster import Cluster
+from ...tlaplus.graph import StateGraph
+from ..mapping.kinds import FaultKind, TriggerKind
+from ..mapping.registry import ActionMapping, SpecMapping
+from ..testgen.testcase import TestCase, TestStep, TestSuite
+from .messages import UnknownMessage
+from .report import (
+    Divergence,
+    DivergenceKind,
+    SuiteResult,
+    TestCaseResult,
+    VariableDivergence,
+)
+from .runtime import MocketRuntime
+from .scheduler import Notification
+from .statecheck import StateChecker
+
+__all__ = ["RunnerConfig", "ControlledTester"]
+
+
+class RunnerConfig:
+    """Timeouts and toggles for controlled testing."""
+
+    def __init__(self, match_timeout: float = 2.0, done_timeout: float = 2.0,
+                 quiesce_delay: float = 0.05, check_unexpected: bool = True):
+        self.match_timeout = match_timeout      # waiting for a matching notification
+        self.done_timeout = done_timeout        # waiting for an enabled action to finish
+        self.quiesce_delay = quiesce_delay      # settle time before the end-of-case check
+        self.check_unexpected = check_unexpected
+
+
+class ControlledTester:
+    """Runs generated test cases against an instrumented system."""
+
+    def __init__(self, mapping: SpecMapping, graph: StateGraph,
+                 cluster_factory: Callable[[], Cluster],
+                 config: Optional[RunnerConfig] = None):
+        mapping.validate()
+        self.mapping = mapping
+        self.graph = graph
+        self.cluster_factory = cluster_factory
+        self.config = config or RunnerConfig()
+
+    # -- suite ------------------------------------------------------------------
+    def run_suite(self, suite: TestSuite, stop_on_divergence: bool = False,
+                  max_cases: Optional[int] = None) -> SuiteResult:
+        started = time.monotonic()
+        results: List[TestCaseResult] = []
+        for case in suite:
+            if max_cases is not None and len(results) >= max_cases:
+                break
+            result = self.run_case(case)
+            results.append(result)
+            if stop_on_divergence and not result.passed:
+                break
+        return SuiteResult(results, time.monotonic() - started)
+
+    # -- one case -----------------------------------------------------------------
+    def run_case(self, case: TestCase) -> TestCaseResult:
+        started = time.monotonic()
+        cluster = self.cluster_factory()
+        runtime = MocketRuntime(self.mapping, cluster)
+        runtime.attach()
+        runtime.activate()
+        executed = 0
+        divergence: Optional[Divergence] = None
+        request_threads: List[threading.Thread] = []
+        try:
+            cluster.deploy()
+            runtime.snapshot_all()
+            checker = StateChecker(self.mapping, cluster.node_ids,
+                                   runtime.shadow_cache, runtime.message_sets,
+                                   cluster=cluster)
+            # check the initial state before the first action (Section 4.3.1)
+            initial = checker.compare(case.initial_state)
+            if initial:
+                divergence = Divergence(DivergenceKind.INCONSISTENT_STATE, -1,
+                                        variables=initial,
+                                        detail="initial state mismatch")
+            else:
+                occurrences: Counter = Counter()
+                for index, step in enumerate(case.steps):
+                    divergence = self._execute_step(
+                        index, step, runtime, cluster, checker, occurrences,
+                        request_threads,
+                    )
+                    if divergence is not None:
+                        break
+                    executed += 1
+                if divergence is None and self.config.check_unexpected:
+                    divergence = self._end_of_case_check(case, runtime)
+        finally:
+            runtime.deactivate()
+            cluster.shutdown()
+            for thread in request_threads:
+                thread.join(timeout=1.0)
+        return TestCaseResult(case, divergence, executed,
+                              time.monotonic() - started)
+
+    # -- steps ----------------------------------------------------------------------
+    def _execute_step(self, index: int, step: TestStep, runtime: MocketRuntime,
+                      cluster: Cluster, checker: StateChecker,
+                      occurrences: Counter,
+                      request_threads: List[threading.Thread]) -> Optional[Divergence]:
+        action = self.mapping.action_mapping(step.label.name)
+        if action.trigger is TriggerKind.SPONTANEOUS:
+            divergence = self._run_spontaneous(index, step, runtime)
+        elif action.trigger is TriggerKind.USER_REQUEST:
+            divergence = self._run_user_request(index, step, runtime, cluster,
+                                                action, occurrences, request_threads)
+        else:
+            divergence = self._run_fault(index, step, runtime, cluster, action)
+        if divergence is not None:
+            return divergence
+        mismatches = checker.compare(step.expected_state)
+        if mismatches:
+            return Divergence(DivergenceKind.INCONSISTENT_STATE, index,
+                              action=step.label.name, variables=mismatches)
+        return None
+
+    def _run_spontaneous(self, index: int, step: TestStep,
+                         runtime: MocketRuntime) -> Optional[Divergence]:
+        notification = runtime.scheduler.wait_for_label(
+            step.label, self.config.match_timeout
+        )
+        if notification is None:
+            return self._no_match_divergence(index, step, runtime)
+        if notification.recv_msg is not None and notification.msg_var is not None:
+            try:
+                runtime.message_sets.remove(notification.msg_var,
+                                            notification.recv_msg)
+            except UnknownMessage as exc:
+                return Divergence(
+                    DivergenceKind.INCONSISTENT_STATE, index,
+                    action=step.label.name,
+                    variables=[VariableDivergence(exc.variable, "in flight",
+                                                  exc.message)],
+                    detail="received a message the testbed never saw sent",
+                )
+        return self._enable_and_wait(index, step, runtime, notification)
+
+    def _run_user_request(self, index: int, step: TestStep,
+                          runtime: MocketRuntime, cluster: Cluster,
+                          action: ActionMapping, occurrences: Counter,
+                          request_threads: List[threading.Thread]) -> Optional[Divergence]:
+        occurrences[step.label.name] += 1
+        occurrence = occurrences[step.label.name]
+        params = dict(step.label.params)
+
+        def script() -> None:
+            try:
+                action.run(cluster, params, occurrence)
+            except Exception:
+                pass  # failures surface as missing actions / state mismatches
+
+        thread = threading.Thread(target=script, daemon=True,
+                                  name=f"request-{step.label.name}-{occurrence}")
+        request_threads.append(thread)
+        thread.start()
+        return self._run_spontaneous(index, step, runtime)
+
+    def _run_fault(self, index: int, step: TestStep, runtime: MocketRuntime,
+                   cluster: Cluster, action: ActionMapping) -> Optional[Divergence]:
+        kind = action.fault_kind
+        if kind is FaultKind.CRASH:
+            node_id = step.label.params[action.node_param]
+            cluster.crash_node(node_id)
+            return None
+        if kind is FaultKind.RESTART:
+            node_id = step.label.params[action.node_param]
+            node = cluster.restart_node(node_id)
+            runtime.snapshot_node(node)
+            return None
+        decl = self.mapping.spec.actions[step.label.name]
+        message = step.label.params[decl.msg_param]
+        if kind is FaultKind.DROP_MESSAGE:
+            return self._run_drop(index, step, runtime, action, decl, message)
+        if kind is FaultKind.DUPLICATE_MESSAGE:
+            action.duplicate(cluster, message)
+            runtime.message_sets.add(decl.message_var, message)
+            return None
+        raise ValueError(f"unsupported fault kind {kind!r}")
+
+    def _run_drop(self, index: int, step: TestStep, runtime: MocketRuntime,
+                  action: ActionMapping, decl, message) -> Optional[Divergence]:
+        """Operate the drop switch: the matching receive skips its body."""
+
+        def matches(notification: Notification) -> bool:
+            if notification.recv_msg != message:
+                return False
+            return (action.receive_action is None
+                    or notification.name == action.receive_action)
+
+        notification = runtime.scheduler.wait_for(matches, self.config.match_timeout)
+        if notification is None:
+            return self._no_match_divergence(index, step, runtime)
+        runtime.message_sets.remove(decl.message_var, message)
+        return self._enable_and_wait(index, step, runtime, notification,
+                                     directive="drop")
+
+    def _enable_and_wait(self, index: int, step: TestStep,
+                         runtime: MocketRuntime, notification: Notification,
+                         directive: str = "normal") -> Optional[Divergence]:
+        runtime.scheduler.enable(notification, directive)
+        if not notification.done_event.wait(self.config.done_timeout):
+            return Divergence(
+                DivergenceKind.MISSING_ACTION, index, action=step.label.name,
+                detail="the enabled action never finished",
+            )
+        return None
+
+    def _no_match_divergence(self, index: int, step: TestStep,
+                             runtime: MocketRuntime) -> Divergence:
+        """Classify a scheduling timeout (Section 4.3.3).
+
+        If the system produced a notification for the *same action* with
+        different parameters, the implementation did something the
+        verified state space does not allow: an unexpected action.
+        Otherwise the scheduled action simply never happened: missing.
+        """
+        same_name = runtime.scheduler.pending_with_name(step.label.name)
+        pending = [n.summary() for n in runtime.scheduler.pending_snapshot()]
+        if same_name:
+            return Divergence(
+                DivergenceKind.UNEXPECTED_ACTION, index, action=step.label.name,
+                pending=pending,
+                detail=f"expected {step.label!r}; the system offered "
+                       f"{[n.summary() for n in same_name]}",
+            )
+        return Divergence(DivergenceKind.MISSING_ACTION, index,
+                          action=step.label.name, pending=pending)
+
+    def _end_of_case_check(self, case: TestCase,
+                           runtime: MocketRuntime) -> Optional[Divergence]:
+        """Leftover notifications must match transitions enabled in the
+        final verified state; anything else is an unexpected action."""
+        time.sleep(self.config.quiesce_delay)
+        enabled = set(self.graph.enabled_labels(case.final_id))
+        for notification in runtime.scheduler.pending_snapshot():
+            if notification.label() not in enabled:
+                return Divergence(
+                    DivergenceKind.UNEXPECTED_ACTION, len(case.steps),
+                    action=notification.name,
+                    pending=[n.summary() for n in runtime.scheduler.pending_snapshot()],
+                    detail=f"{notification.summary()} is not enabled in the "
+                           f"final verified state s{case.final_id}",
+                )
+        return None

@@ -1,0 +1,142 @@
+"""The action scheduler (Section 4.3.2).
+
+Instrumented actions notify the scheduler and block.  The scheduler
+matches notifications against the scheduled action of the current test
+case: the matching notification's thread is resumed, all others stay
+blocked in the waiting set "until they match their corresponding
+scheduled actions".
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ...tlaplus.state import ActionLabel
+from ...tlaplus.values import FrozenDict, freeze
+
+__all__ = ["Notification", "ActionScheduler"]
+
+_seq = itertools.count()
+
+
+class Notification:
+    """One blocked action waiting to be scheduled."""
+
+    __slots__ = ("node_id", "name", "params", "recv_msg", "msg_var",
+                 "enable_event", "done_event", "directive", "seq")
+
+    def __init__(self, node_id: str, name: str, params: Dict[str, Any],
+                 recv_msg: Optional[Any] = None, msg_var: Optional[str] = None):
+        self.node_id = node_id
+        self.name = name
+        self.params = FrozenDict({k: freeze(v) for k, v in params.items()})
+        self.recv_msg = freeze(recv_msg) if recv_msg is not None else None
+        self.msg_var = msg_var
+        self.enable_event = threading.Event()
+        self.done_event = threading.Event()
+        self.directive = "normal"   # set by the scheduler: normal | drop | abort
+        self.seq = next(_seq)
+
+    def label(self) -> ActionLabel:
+        return ActionLabel(self.name, dict(self.params))
+
+    def matches(self, label: ActionLabel) -> bool:
+        return self.name == label.name and self.params == label.params
+
+    def summary(self) -> str:
+        base = repr(self.label())
+        return f"{base} on {self.node_id}"
+
+    def __repr__(self) -> str:
+        return f"Notification({self.summary()}, seq={self.seq})"
+
+
+class ActionScheduler:
+    """Waiting set + matching logic."""
+
+    def __init__(self):
+        self._pending: List[Notification] = []
+        self._cond = threading.Condition()
+        self.notified_count = 0
+
+    # -- hook side ------------------------------------------------------------
+    def submit(self, notification: Notification) -> None:
+        with self._cond:
+            self._pending.append(notification)
+            self.notified_count += 1
+            self._cond.notify_all()
+
+    # -- testbed side -----------------------------------------------------------
+    def wait_for(self, predicate: Callable[[Notification], bool],
+                 timeout: float) -> Optional[Notification]:
+        """Wait until a pending notification satisfies ``predicate``.
+
+        The matched notification is removed from the waiting set but NOT
+        yet enabled — the caller sets its directive and calls
+        :meth:`enable`.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                for notification in self._pending:
+                    if predicate(notification):
+                        self._pending.remove(notification)
+                        return notification
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def wait_for_label(self, label: ActionLabel, timeout: float) -> Optional[Notification]:
+        """Wait for a notification matching the scheduled action exactly."""
+        return self.wait_for(lambda n: n.matches(label), timeout)
+
+    @staticmethod
+    def enable(notification: Notification, directive: str = "normal") -> None:
+        """Resume the blocked thread with the given fault directive."""
+        notification.directive = directive
+        notification.enable_event.set()
+
+    # -- end-of-case bookkeeping ----------------------------------------------------
+    def pending_snapshot(self) -> List[Notification]:
+        with self._cond:
+            return list(self._pending)
+
+    def pending_with_name(self, name: str) -> List[Notification]:
+        with self._cond:
+            return [n for n in self._pending if n.name == name]
+
+    def discard_notification(self, notification: Notification) -> None:
+        """Remove one notification if it is still waiting (no-op otherwise)."""
+        with self._cond:
+            if notification in self._pending:
+                self._pending.remove(notification)
+
+    def discard_node(self, node_id: str) -> None:
+        """Drop (and abort) every pending notification from ``node_id``.
+
+        Used when a node crashes: its blocked threads are dying, so their
+        notifications must not linger in the waiting set where they could
+        be matched later.
+        """
+        with self._cond:
+            stale = [n for n in self._pending if n.node_id == node_id]
+            self._pending = [n for n in self._pending if n.node_id != node_id]
+        for notification in stale:
+            notification.directive = "abort"
+            notification.enable_event.set()
+
+    def abort_all(self) -> None:
+        """Release every blocked thread with the abort directive (teardown)."""
+        with self._cond:
+            pending, self._pending = self._pending, []
+        for notification in pending:
+            notification.directive = "abort"
+            notification.enable_event.set()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return f"ActionScheduler({len(self._pending)} pending)"

@@ -1,0 +1,134 @@
+"""Partial order reduction over the state-space graph (Section 4.2.2).
+
+Two actions ``a1`` and ``a2`` enabled in the same state ``s0`` are
+*commutative* when both interleavings reach the same state::
+
+    s0 --a1--> s1 --a2--> s3
+    s0 --a2--> s2 --a1--> s3
+
+For every such diamond we keep one interleaving and drop the other from
+the traversal's coverage targets; the dropped edge is the *second* hop
+of the non-chosen interleaving (``s2 --a1--> s3``), so that ``s2`` and
+its remaining outgoing edges stay reachable.
+
+The paper notes this is a heuristic: commutativity in the graph does not
+always imply commutativity in the implementation, so reduction trades
+coverage for tractability.  The choice of which interleaving survives
+is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from ...tlaplus.graph import Edge, StateGraph
+
+__all__ = ["Diamond", "find_diamonds", "por_excluded_edges"]
+
+
+class Diamond:
+    """One commutative diamond found in the graph."""
+
+    __slots__ = ("origin", "first_a", "first_b", "second_a", "second_b", "join")
+
+    def __init__(self, origin: int, first_a: Edge, second_a: Edge,
+                 first_b: Edge, second_b: Edge):
+        self.origin = origin
+        self.first_a = first_a      # s0 --a1--> s1
+        self.second_a = second_a    # s1 --a2--> s3
+        self.first_b = first_b      # s0 --a2--> s2
+        self.second_b = second_b    # s2 --a1--> s3
+        self.join = second_a.dst
+
+    def __repr__(self) -> str:
+        return (
+            f"Diamond(s{self.origin}: {self.first_a.label!r}/{self.first_b.label!r}"
+            f" join s{self.join})"
+        )
+
+
+def find_diamonds(graph: StateGraph) -> List[Diamond]:
+    """Enumerate commutative diamonds.
+
+    For each state, each unordered pair of outgoing edges with distinct
+    labels is checked for the matching pair of second hops that join in
+    a single state.  Each diamond is reported once (labels ordered by
+    repr, so ``first_a.label < first_b.label``).
+    """
+    diamonds: List[Diamond] = []
+    for node_id in range(graph.num_states):
+        out = graph.out_edges(node_id)
+        for i, edge_a in enumerate(out):
+            for edge_b in out[i + 1 :]:
+                if edge_a.label == edge_b.label:
+                    continue
+                if edge_a.dst == edge_b.dst:
+                    continue
+                # order the pair so each diamond is found exactly once
+                first_a, first_b = edge_a, edge_b
+                if repr(first_b.label) < repr(first_a.label):
+                    first_a, first_b = first_b, first_a
+                second_a = _edge_with_label(graph, first_a.dst, first_b.label)
+                second_b = _edge_with_label(graph, first_b.dst, first_a.label)
+                if second_a is None or second_b is None:
+                    continue
+                if second_a.dst != second_b.dst:
+                    continue
+                diamonds.append(Diamond(node_id, first_a, second_a, first_b, second_b))
+    return diamonds
+
+
+def _edge_with_label(graph: StateGraph, src: int, label) -> Edge:
+    for edge in graph.out_edges(src):
+        if edge.label == label:
+            return edge
+    return None
+
+
+def por_excluded_edges(graph: StateGraph, seed: int = 0) -> Set[Edge]:
+    """Pick the coverage targets to drop: one interleaving per diamond.
+
+    Returns the set of *second-hop* edges of the non-chosen
+    interleavings.  An edge that survives as the kept interleaving of
+    one diamond is never also excluded by another diamond (kept edges
+    are pinned first), so at least one interleaving of every diamond
+    remains fully traversable.
+    """
+    rng = random.Random(seed)
+    excluded: Set[Tuple] = set()
+    kept: Set[Tuple] = set()
+    result: Set[Edge] = set()
+    for diamond in find_diamonds(graph):
+        option_a = diamond.second_a  # drop candidate if order B is kept
+        option_b = diamond.second_b
+        a_key, b_key = option_a.key(), option_b.key()
+        if a_key in excluded and b_key in excluded:
+            continue  # both orders already dropped by earlier diamonds
+        if a_key in excluded:
+            choice = option_b  # order A already dead; keep order B
+            drop = None
+        elif b_key in excluded:
+            choice = option_a
+            drop = None
+        elif a_key in kept and b_key in kept:
+            continue  # both orders pinned by earlier diamonds; drop neither
+        elif a_key in kept:
+            drop = option_b
+        elif b_key in kept:
+            drop = option_a
+        else:
+            drop = option_a if rng.random() < 0.5 else option_b
+        if drop is not None and drop.key() not in kept:
+            excluded.add(drop.key())
+            result.add(drop)
+            keep = option_b if drop is option_a else option_a
+            kept.add(keep.key())
+    return result
+
+
+def diamond_stats(graph: StateGraph) -> Dict[str, int]:
+    """Summary numbers for benches: diamonds found and edges dropped."""
+    diamonds = find_diamonds(graph)
+    dropped = por_excluded_edges(graph)
+    return {"diamonds": len(diamonds), "excluded_edges": len(dropped)}

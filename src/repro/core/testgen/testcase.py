@@ -1,0 +1,219 @@
+"""Test cases generated from the state-space graph.
+
+A test case is a path through the verified state space starting at an
+initial state (Section 4.2): a sequence of actions to schedule, plus the
+verified state expected after each action.  During controlled testing
+the scheduler forces the implementation through the action sequence and
+the state checker compares runtime state with each expected state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ...tlaplus.dot import decode_value, encode_value
+from ...tlaplus.graph import Edge, StateGraph
+from ...tlaplus.state import ActionLabel, State
+
+__all__ = ["TestStep", "TestCase", "TestSuite"]
+
+
+class TestStep:
+    """One scheduled action and the verified state expected after it."""
+
+    __test__ = False  # not a pytest class, despite the name
+    __slots__ = ("label", "expected_state", "src_id", "dst_id")
+
+    def __init__(self, label: ActionLabel, expected_state: State,
+                 src_id: int = -1, dst_id: int = -1):
+        self.label = label
+        self.expected_state = expected_state
+        self.src_id = src_id
+        self.dst_id = dst_id
+
+    def __repr__(self) -> str:
+        return f"TestStep({self.label!r} -> state {self.dst_id})"
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TestStep):
+            return NotImplemented
+        return (self.label, self.expected_state) == (other.label, other.expected_state)
+
+
+class TestCase:
+    """An executable test case: initial state + action/state sequence."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, case_id: int, initial_state: State, steps: Sequence[TestStep],
+                 initial_id: int = 0):
+        self.case_id = case_id
+        self.initial_state = initial_state
+        self.initial_id = initial_id
+        self.steps: List[TestStep] = list(steps)
+
+    @classmethod
+    def from_edges(cls, case_id: int, graph: StateGraph, edges: Sequence[Edge]) -> "TestCase":
+        """Build a test case from a root-to-end edge path in ``graph``."""
+        if not edges:
+            raise ValueError("a test case needs at least one action")
+        initial_id = edges[0].src
+        if initial_id not in graph.initial_ids:
+            raise ValueError(
+                f"test case must start from an initial state, got node {initial_id}"
+            )
+        steps = []
+        previous = initial_id
+        for edge in edges:
+            if edge.src != previous:
+                raise ValueError(f"edge path is not contiguous at {edge!r}")
+            steps.append(TestStep(edge.label, graph.state_of(edge.dst),
+                                  src_id=edge.src, dst_id=edge.dst))
+            previous = edge.dst
+        return cls(case_id, graph.state_of(initial_id), steps, initial_id=initial_id)
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TestStep]:
+        return iter(self.steps)
+
+    def labels(self) -> List[ActionLabel]:
+        return [step.label for step in self.steps]
+
+    def action_names(self) -> List[str]:
+        return [step.label.name for step in self.steps]
+
+    @property
+    def final_state(self) -> State:
+        return self.steps[-1].expected_state if self.steps else self.initial_state
+
+    @property
+    def final_id(self) -> int:
+        return self.steps[-1].dst_id if self.steps else self.initial_id
+
+    def describe(self) -> str:
+        """A one-line schedule summary: ``s0 -> A -> s1 -> B -> s2``."""
+        parts = [f"s{self.initial_id}"]
+        for step in self.steps:
+            parts.append(repr(step.label))
+            parts.append(f"s{step.dst_id}")
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"TestCase(#{self.case_id}, {len(self.steps)} actions)"
+
+    # -- serialization --------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """A JSON-serializable dump (values encoded as tagged literals)."""
+        return {
+            "case_id": self.case_id,
+            "initial_id": self.initial_id,
+            "initial_state": encode_value(self.initial_state._vars),
+            "steps": [
+                {
+                    "action": step.label.name,
+                    "params": encode_value(step.label.params),
+                    "expected_state": encode_value(step.expected_state._vars),
+                    "src_id": step.src_id,
+                    "dst_id": step.dst_id,
+                }
+                for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "TestCase":
+        initial_state = State(dict(decode_value(payload["initial_state"])))
+        steps = [
+            TestStep(
+                ActionLabel(raw["action"], dict(decode_value(raw["params"]))),
+                State(dict(decode_value(raw["expected_state"]))),
+                src_id=raw["src_id"],
+                dst_id=raw["dst_id"],
+            )
+            for raw in payload["steps"]
+        ]
+        return cls(payload["case_id"], initial_state, steps,
+                   initial_id=payload["initial_id"])
+
+
+class TestSuite:
+    """A group of test cases plus generation statistics."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, cases: Sequence[TestCase], graph: Optional[StateGraph] = None,
+                 excluded_edges: int = 0, uncovered_edges: int = 0):
+        self.cases: List[TestCase] = list(cases)
+        self.graph = graph
+        self.excluded_edges = excluded_edges      # edges removed by POR
+        self.uncovered_edges = uncovered_edges    # coverage targets no path hit
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self) -> Iterator[TestCase]:
+        return iter(self.cases)
+
+    def __getitem__(self, index: int) -> TestCase:
+        return self.cases[index]
+
+    def total_actions(self) -> int:
+        return sum(len(case) for case in self.cases)
+
+    def covered_action_names(self) -> set:
+        names = set()
+        for case in self.cases:
+            names.update(case.action_names())
+        return names
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "cases": len(self.cases),
+            "total_actions": self.total_actions(),
+            "excluded_edges": self.excluded_edges,
+            "uncovered_edges": self.uncovered_edges,
+        }
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path_or_file) -> None:
+        """Write the suite (and generation stats) to a JSON file.
+
+        Generated suites can be expensive to rebuild for large graphs;
+        saved suites replay bit-identically (`mocket testgen --out` /
+        `mocket test --suite`).
+        """
+        import json
+
+        payload = {
+            "format": "mocket-test-suite/1",
+            "excluded_edges": self.excluded_edges,
+            "uncovered_edges": self.uncovered_edges,
+            "cases": [case.to_jsonable() for case in self.cases],
+        }
+        if hasattr(path_or_file, "write"):
+            json.dump(payload, path_or_file)
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path_or_file) -> "TestSuite":
+        """Read a suite previously written by :meth:`save`."""
+        import json
+
+        if hasattr(path_or_file, "read"):
+            payload = json.load(path_or_file)
+        else:
+            with open(path_or_file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        if payload.get("format") != "mocket-test-suite/1":
+            raise ValueError(f"not a mocket test suite: {path_or_file!r}")
+        cases = [TestCase.from_jsonable(raw) for raw in payload["cases"]]
+        return cls(cases, excluded_edges=payload["excluded_edges"],
+                   uncovered_edges=payload["uncovered_edges"])
+
+    def __repr__(self) -> str:
+        return f"TestSuite({len(self.cases)} cases, {self.total_actions()} actions)"

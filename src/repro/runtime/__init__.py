@@ -1,0 +1,17 @@
+"""Pseudo-distributed cluster substrate: nodes, network, storage, faults."""
+
+from .cluster import Cluster
+from .network import Envelope, Network, RpcError
+from .node import Node, NodeCrashed
+from .storage import PersistentStore, StorageBackend
+
+__all__ = [
+    "Cluster",
+    "Envelope",
+    "Network",
+    "Node",
+    "NodeCrashed",
+    "PersistentStore",
+    "RpcError",
+    "StorageBackend",
+]

@@ -1,0 +1,111 @@
+"""The pseudo-distributed cluster.
+
+The paper deploys each system as processes on one host and drives
+crash/restart faults with shell scripts.  :class:`Cluster` is the same
+thing in-process: a node factory, a shared network, shared persistent
+storage, and the two "scripts" — :meth:`crash_node` (kill the process)
+and :meth:`restart_node` (kill + relaunch with the same configuration
+and the same durable storage).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .network import Network
+from .node import Node
+from .storage import StorageBackend
+
+__all__ = ["Cluster"]
+
+NodeFactory = Callable[[str, "Cluster"], Node]
+
+
+class Cluster:
+    """A set of nodes plus their network and storage."""
+
+    def __init__(self, node_ids: Sequence[str], factory: NodeFactory):
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError("node ids must be unique")
+        self.node_ids: List[str] = list(node_ids)
+        self.factory = factory
+        self.network = Network()
+        self.storage = StorageBackend()
+        self.nodes: Dict[str, Node] = {}
+        self._lock = threading.Lock()
+        self.deployed = False
+        # Mocket attachment point; None when the system runs standalone.
+        self.mocket_runtime: Optional[Any] = None
+        self.restart_counts: Dict[str, int] = {node_id: 0 for node_id in node_ids}
+
+    # -- deployment ----------------------------------------------------------
+    def deploy(self) -> None:
+        """Create and start every node (a fresh cluster per test case)."""
+        if self.deployed:
+            raise RuntimeError("cluster already deployed")
+        self.deployed = True
+        for node_id in self.node_ids:
+            self._launch(node_id)
+
+    def shutdown(self) -> None:
+        """Stop every node and tear the cluster down."""
+        for node in list(self.nodes.values()):
+            self.network.unregister(node.node_id)
+            node.stop()
+        self.nodes.clear()
+        self.deployed = False
+
+    def _launch(self, node_id: str) -> Node:
+        node = self.factory(node_id, self)
+        self.nodes[node_id] = node
+        node.start()
+        return node
+
+    # -- queries ---------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        """The live node object; raises KeyError if the node is down."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"node {node_id!r} is not running")
+        return node
+
+    def is_up(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+    def live_nodes(self) -> List[Node]:
+        return [self.nodes[node_id] for node_id in self.node_ids if node_id in self.nodes]
+
+    @property
+    def quorum_size(self) -> int:
+        return len(self.node_ids) // 2 + 1
+
+    # -- fault scripts -------------------------------------------------------------
+    def crash_node(self, node_id: str) -> None:
+        """The node-crash script: kill the node's process."""
+        with self._lock:
+            node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise KeyError(f"cannot crash {node_id!r}: not running")
+        self.network.unregister(node_id)
+        node.stop()
+
+    def restart_node(self, node_id: str) -> Node:
+        """The node-restart script: kill then relaunch with the same
+        configuration; the persistent store is preserved."""
+        if node_id in self.nodes:
+            self.crash_node(node_id)
+        self.restart_counts[node_id] += 1
+        return self._launch(node_id)
+
+    # -- context manager -------------------------------------------------------------
+    def __enter__(self) -> "Cluster":
+        self.deploy()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        up = sorted(self.nodes)
+        return f"Cluster({len(self.node_ids)} nodes, up={up})"

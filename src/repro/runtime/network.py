@@ -1,0 +1,160 @@
+"""In-memory network transport for the pseudo-distributed cluster.
+
+Two communication styles, matching the paper's two Raft targets:
+
+* **asynchronous** — ``send`` enqueues the message into the receiver's
+  inbox; the receiver's loop thread dequeues and handles it (Xraft,
+  ZooKeeper style),
+* **synchronous RPC** — ``rpc`` invokes the receiver's handler in the
+  caller's thread and returns its reply (Raft-java style).
+
+Inboxes are *mailboxes*: they belong to the node identity, not the node
+process, so messages that were in flight when a node crashed are still
+there when it restarts.  This matches the specification's view of the
+network — a message stays in the message bag until a handler action
+consumes it — and is what message-retrying transports (gRPC, Xraft's
+channel layer) provide in the paper's targets.  A node that aborts
+before *starting* to handle a dequeued message puts it back with
+:meth:`redeliver`.
+
+Messages to node ids that were never part of the cluster go to
+``dead_letters``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Envelope", "Network", "RpcError"]
+
+
+class RpcError(Exception):
+    """A synchronous RPC failed (peer down or handler raised)."""
+
+
+class Envelope:
+    """A message in flight: source, destination and payload."""
+
+    __slots__ = ("src", "dst", "payload")
+
+    def __init__(self, src: str, dst: str, payload: Any):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Envelope({self.src} -> {self.dst}: {self.payload!r})"
+
+
+class Network:
+    """The cluster's message fabric."""
+
+    def __init__(self):
+        self._inboxes: Dict[str, "queue.Queue[Envelope]"] = {}
+        self._up: Dict[str, bool] = {}
+        self._rpc_handlers: Dict[str, Callable[[str, Any], Any]] = {}
+        self._lock = threading.Lock()
+        self.sent_count = 0
+        self.dead_letters: List[Envelope] = []
+
+    # -- registration --------------------------------------------------------
+    def register(self, node_id: str,
+                 rpc_handler: Optional[Callable[[str, Any], Any]] = None) -> None:
+        """Attach ``node_id``; its mailbox (and backlog) is reused if it
+        existed before — a restarted node sees retained messages."""
+        with self._lock:
+            if node_id not in self._inboxes:
+                self._inboxes[node_id] = queue.Queue()
+            self._up[node_id] = True
+            if rpc_handler is not None:
+                self._rpc_handlers[node_id] = rpc_handler
+
+    def unregister(self, node_id: str) -> None:
+        """Mark ``node_id`` down (crash).  The mailbox is retained."""
+        with self._lock:
+            self._up[node_id] = False
+            self._rpc_handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: str) -> bool:
+        with self._lock:
+            return self._up.get(node_id, False)
+
+    # -- asynchronous delivery --------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any) -> bool:
+        """Deliver ``payload`` into ``dst``'s mailbox.
+
+        Returns True when the destination is up.  A known-but-down
+        destination retains the message for its next incarnation (False
+        is returned).  An unknown destination dead-letters it.
+        """
+        envelope = Envelope(src, dst, payload)
+        with self._lock:
+            self.sent_count += 1
+            inbox = self._inboxes.get(dst)
+            if inbox is None:
+                self.dead_letters.append(envelope)
+                return False
+            up = self._up.get(dst, False)
+        inbox.put(envelope)
+        return up
+
+    def redeliver(self, node_id: str, payload: Any, src: str = "") -> None:
+        """Put a dequeued-but-unhandled message back into the mailbox.
+
+        Used when a node dies after dequeuing a message but before its
+        handler ran: the message is still in flight from the
+        specification's point of view.
+        """
+        with self._lock:
+            inbox = self._inboxes.get(node_id)
+            if inbox is None:
+                inbox = queue.Queue()
+                self._inboxes[node_id] = inbox
+        inbox.put(Envelope(src, node_id, payload))
+
+    def receive(self, node_id: str, timeout: Optional[float] = None) -> Optional[Envelope]:
+        """Dequeue the next message for ``node_id`` (None on timeout)."""
+        with self._lock:
+            inbox = self._inboxes.get(node_id)
+        if inbox is None:
+            return None
+        try:
+            return inbox.get(timeout=timeout) if timeout is not None else inbox.get_nowait()
+        except queue.Empty:
+            return None
+
+    def pending_count(self, node_id: str) -> int:
+        with self._lock:
+            inbox = self._inboxes.get(node_id)
+        return inbox.qsize() if inbox is not None else 0
+
+    # -- synchronous RPC ------------------------------------------------------------
+    def rpc(self, src: str, dst: str, payload: Any) -> Any:
+        """Invoke ``dst``'s RPC handler in the caller's thread.
+
+        Raises :class:`RpcError` when the peer is down or the handler
+        fails — the caller sees the same failure a broken TCP connection
+        would produce.
+        """
+        with self._lock:
+            handler = self._rpc_handlers.get(dst)
+            self.sent_count += 1
+        if handler is None:
+            self.dead_letters.append(Envelope(src, dst, payload))
+            raise RpcError(f"rpc {src} -> {dst}: peer is down")
+        try:
+            return handler(src, payload)
+        except RpcError:
+            raise
+        except Exception as exc:
+            raise RpcError(f"rpc {src} -> {dst} failed: {exc!r}") from exc
+
+    def __repr__(self) -> str:
+        with self._lock:
+            up = sum(1 for v in self._up.values() if v)
+            return (
+                f"Network({up} up / {len(self._inboxes)} mailboxes, "
+                f"sent={self.sent_count}, dead={len(self.dead_letters)})"
+            )

@@ -1,0 +1,141 @@
+"""Node base class: lifecycle, threads and Mocket attachment points.
+
+A :class:`Node` is one process of the pseudo-distributed cluster.  It
+owns worker threads (e.g. an inbox loop), a persistent store, and the
+per-node shadow state Mocket's instrumentation writes into.  Crashing a
+node sets its stop event; any instrumentation hook blocked on the
+Mocket testbed observes the event and unwinds via
+:class:`NodeCrashed`, exactly like killing a JVM tears down its threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from .storage import PersistentStore
+
+__all__ = ["Node", "NodeCrashed"]
+
+
+class NodeCrashed(Exception):
+    """Raised inside a node thread when the node is killed mid-action."""
+
+
+class Node:
+    """Base class for all systems under test.
+
+    Subclasses implement :meth:`on_start` (spawn loops, initialize
+    state) and may implement :meth:`on_stop`.  ``mocket_shadow`` holds
+    the shadow copies of annotated variables — the analogue of the
+    ``Mocket$x`` fields the paper's instrumentation adds.
+    """
+
+    def __init__(self, node_id: str, cluster: "Any"):
+        self.node_id = node_id
+        self.cluster = cluster
+        self.network = cluster.network
+        self.storage: PersistentStore = cluster.storage.store_for(node_id)
+        self.peers: List[str] = [n for n in cluster.node_ids if n != node_id]
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._lock = threading.RLock()
+        self.started = False
+        # Mocket attachment points (populated by the instrumentation).
+        self.mocket_shadow: Dict[str, Any] = {}
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError(f"node {self.node_id} already started")
+        self.started = True
+        self._stop_event.clear()
+        self.on_start()
+
+    def stop(self) -> None:
+        """Stop the node and join its threads (crash or teardown)."""
+        if not self.started:
+            return
+        self.started = False
+        self._stop_event.set()
+        self.on_stop()
+        runtime = getattr(self.cluster, "mocket_runtime", None)
+        if runtime is not None:
+            runtime.node_stopping(self)
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def on_start(self) -> None:  # pragma: no cover - overridden
+        """Subclass hook: spawn loops, initialize protocol state."""
+
+    def on_stop(self) -> None:
+        """Subclass hook: release resources before threads are joined."""
+
+    # -- threads -----------------------------------------------------------------
+    def spawn(self, target: Callable[[], None], name: Optional[str] = None) -> threading.Thread:
+        """Start a daemon worker thread owned by this node.
+
+        The target is wrapped so that :class:`NodeCrashed` (raised when
+        the node dies while the thread is blocked in a hook) terminates
+        the thread silently.
+        """
+
+        def runner() -> None:
+            try:
+                target()
+            except NodeCrashed:
+                pass
+
+        thread = threading.Thread(
+            target=runner, name=name or f"{self.node_id}-worker", daemon=True
+        )
+        if self._stop_event.is_set():
+            return thread  # node is dying: never start new work
+        thread.start()
+        self._threads.append(thread)
+        return thread
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_event.is_set()
+
+    @property
+    def mocket_controlled(self) -> bool:
+        """True while a Mocket testbed is driving this cluster.
+
+        Systems use this to switch off self-driven scheduling (timers,
+        follow-up tasks) whose spec actions the testbed triggers itself.
+        """
+        runtime = getattr(self.cluster, "mocket_runtime", None)
+        return runtime is not None and runtime.active
+
+    def check_alive(self) -> None:
+        """Raise :class:`NodeCrashed` if the node has been stopped."""
+        if self._stop_event.is_set():
+            raise NodeCrashed(self.node_id)
+
+    def wait_or_crash(self, event: threading.Event, poll: float = 0.01,
+                      timeout: Optional[float] = None) -> bool:
+        """Block on ``event``, aborting with :class:`NodeCrashed` on stop.
+
+        Returns True when the event fired, False on timeout.
+        """
+        waited = 0.0
+        while True:
+            if event.wait(poll):
+                return True
+            self.check_alive()
+            waited += poll
+            if timeout is not None and waited >= timeout:
+                return False
+
+    # -- convenience ---------------------------------------------------------------
+    @property
+    def lock(self) -> threading.RLock:
+        return self._lock
+
+    def __repr__(self) -> str:
+        status = "up" if self.started else "down"
+        return f"{type(self).__name__}({self.node_id}, {status})"

@@ -1,0 +1,97 @@
+"""Per-node persistent storage that survives restarts.
+
+Real deployments keep Raft's ``currentTerm``/``votedFor``/``log`` (and
+ZooKeeper's epochs and history) on disk so they survive a process
+restart.  The pseudo-distributed cluster models the disk as an
+in-memory key/value store owned by the *cluster*, not the node object:
+a restarted node gets a fresh object but the same store.
+
+Fault-injection hooks: a store can be wiped (``clear``) to model disk
+loss, and every write is counted so tests can assert on persistence
+behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["PersistentStore", "StorageBackend"]
+
+_MISSING = object()
+
+
+class PersistentStore:
+    """The durable state of one node (a tiny transactional KV store)."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._data: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+        self.write_count = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self.write_count += 1
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+            self.write_count += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._data))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A shallow copy of the stored data (for assertions and dumps)."""
+        with self._lock:
+            return dict(self._data)
+
+    def clear(self) -> None:
+        """Wipe the store (models disk loss, not a normal restart)."""
+        with self._lock:
+            self._data.clear()
+            self.write_count += 1
+
+    def __repr__(self) -> str:
+        return f"PersistentStore({self.node_id!r}, {len(self._data)} keys)"
+
+
+class StorageBackend:
+    """All nodes' persistent stores, owned by the cluster."""
+
+    def __init__(self):
+        self._stores: Dict[str, PersistentStore] = {}
+        self._lock = threading.Lock()
+
+    def store_for(self, node_id: str) -> PersistentStore:
+        """The store for ``node_id``, created on first use."""
+        with self._lock:
+            store = self._stores.get(node_id)
+            if store is None:
+                store = PersistentStore(node_id)
+                self._stores[node_id] = store
+            return store
+
+    def wipe(self, node_id: str) -> None:
+        with self._lock:
+            store = self._stores.get(node_id)
+        if store is not None:
+            store.clear()
+
+    def node_ids(self):
+        with self._lock:
+            return sorted(self._stores)
+
+    def __repr__(self) -> str:
+        return f"StorageBackend({len(self._stores)} stores)"

@@ -1,0 +1,12 @@
+"""Specifications written in the TLA+-style DSL.
+
+* :mod:`repro.specs.example` — the paper's Figure 1 cache example.
+* :mod:`repro.specs.raft` — the Raft consensus specification (Xraft and
+  Raft-java variants; official spec bugs reproducible via a switch).
+* :mod:`repro.specs.zab` — the ZooKeeper ZAB specification (fast leader
+  election plus synchronization/broadcast).
+"""
+
+from .example import build_example_spec
+
+__all__ = ["build_example_spec"]

@@ -1,0 +1,35 @@
+"""Configuration and the two seeded ZooKeeper bugs."""
+
+from __future__ import annotations
+
+__all__ = ["MiniZkConfig"]
+
+
+class MiniZkConfig:
+    """Behaviour switches for :class:`~repro.systems.minizk.MiniZkNode`.
+
+    The bug flags reproduce the paper's two known ZooKeeper bugs
+    (Table 2):
+
+    * ``bug_rebroadcast_on_worse_vote`` (ZOOKEEPER-1419 [6]) — when a
+      LOOKING node receives a vote *worse* than its own in the same
+      round, it re-broadcasts its own (unchanged) vote to every peer.
+      In a 5-node cluster the resulting notification storm keeps the
+      election from settling.  Under Mocket the extra notifications
+      match no transition of the verified state space: *unexpected
+      action HandleVote* (the paper's ``ReceiveMessage``).
+    * ``bug_epoch_mismatch_abort`` (ZOOKEEPER-1653 [7]) — a node that
+      crashed between persisting ``acceptedEpoch`` and persisting
+      ``currentEpoch`` refuses to start after the restart ("inconsistent
+      epoch"), so it never launches leader election.  Detected as
+      *missing action StartElection*.
+    """
+
+    def __init__(self, bug_rebroadcast_on_worse_vote: bool = False,
+                 bug_epoch_mismatch_abort: bool = False):
+        self.bug_rebroadcast_on_worse_vote = bug_rebroadcast_on_worse_vote
+        self.bug_epoch_mismatch_abort = bug_epoch_mismatch_abort
+
+    def __repr__(self) -> str:
+        flags = [name for name, on in vars(self).items() if on]
+        return f"MiniZkConfig({', '.join(flags) or 'correct'})"

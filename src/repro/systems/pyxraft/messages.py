@@ -1,0 +1,88 @@
+"""Wire messages and their correspondence with spec message records.
+
+pyxraft's wire format is a plain dict with implementation field names.
+The converters here are used (a) by the duplicate-message fault script,
+which must re-inject a *spec-domain* message into the network, and (b)
+by tests asserting on traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+__all__ = [
+    "RV_REQUEST",
+    "RV_RESPONSE",
+    "AE_REQUEST",
+    "AE_RESPONSE",
+    "payload_from_spec_msg",
+    "spec_msg_from_payload",
+]
+
+RV_REQUEST = "RequestVoteRequest"
+RV_RESPONSE = "RequestVoteResponse"
+AE_REQUEST = "AppendEntriesRequest"
+AE_RESPONSE = "AppendEntriesResponse"
+
+# spec record field -> wire field, per message type
+_FIELD_MAPS: Dict[str, Dict[str, str]] = {
+    RV_REQUEST: {
+        "mterm": "term",
+        "mlastLogTerm": "last_log_term",
+        "mlastLogIndex": "last_log_index",
+        "msource": "src",
+        "mdest": "dst",
+    },
+    RV_RESPONSE: {
+        "mterm": "term",
+        "mvoteGranted": "granted",
+        "msource": "src",
+        "mdest": "dst",
+    },
+    AE_REQUEST: {
+        "mterm": "term",
+        "mprevLogIndex": "prev_log_index",
+        "mprevLogTerm": "prev_log_term",
+        "mentries": "entries",
+        "mcommitIndex": "commit_index",
+        "msource": "src",
+        "mdest": "dst",
+    },
+    AE_RESPONSE: {
+        "mterm": "term",
+        "msuccess": "success",
+        "mmatchIndex": "match_index",
+        "msource": "src",
+        "mdest": "dst",
+    },
+}
+
+
+def payload_from_spec_msg(msg: Mapping[str, Any]) -> Dict[str, Any]:
+    """Convert a spec message record into pyxraft's wire payload."""
+    mtype = msg["mtype"]
+    fields = _FIELD_MAPS.get(mtype)
+    if fields is None:
+        raise ValueError(f"unknown spec message type {mtype!r}")
+    payload = {"type": mtype}
+    for spec_field, wire_field in fields.items():
+        value = msg[spec_field]
+        if spec_field == "mentries":
+            value = [list(entry) for entry in value]
+        payload[wire_field] = value
+    return payload
+
+
+def spec_msg_from_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Convert a wire payload back into a spec message record."""
+    mtype = payload["type"]
+    fields = _FIELD_MAPS.get(mtype)
+    if fields is None:
+        raise ValueError(f"unknown wire message type {mtype!r}")
+    msg: Dict[str, Any] = {"mtype": mtype}
+    for spec_field, wire_field in fields.items():
+        value = payload[wire_field]
+        if spec_field == "mentries":
+            value = tuple(tuple(entry) for entry in value)
+        msg[spec_field] = value
+    return msg

@@ -1,0 +1,41 @@
+"""Configuration and the two seeded Raft-java bugs."""
+
+from __future__ import annotations
+
+__all__ = ["RaftKvConfig"]
+
+
+class RaftKvConfig:
+    """Behaviour switches for :class:`~repro.systems.raftkv.RaftKvNode`.
+
+    The bug flags reproduce the paper's two known Raft-java bugs
+    (Table 2):
+
+    * ``bug_drop_higher_term_response`` (Raft-java issue #3 [14]) — the
+      candidate silently discards a vote response carrying a higher
+      term instead of stepping down, so the response is never handled.
+      Detected as *missing action HandleRequestVoteResponse*.
+    * ``bug_append_no_truncate`` (Raft-java issue #19 [19]) — the
+      follower appends replicated entries at the end of its log instead
+      of truncating the conflicting suffix at ``prevLogIndex``, so a
+      stale local entry survives next to the leader's entry.  Detected
+      as *inconsistent state for variable log*.
+
+    ``instrument_update_term`` maps the official specification's
+    standalone ``UpdateTerm`` action to the term-update snippet at the
+    top of every handler (``Action.begin``/``Action.end`` style).  It is
+    used when testing the *fixed* implementation against the official
+    (``spec_bugs=True``) model, whose handlers are only enabled after a
+    separate ``UpdateTerm`` step.
+    """
+
+    def __init__(self, bug_drop_higher_term_response: bool = False,
+                 bug_append_no_truncate: bool = False,
+                 instrument_update_term: bool = False):
+        self.bug_drop_higher_term_response = bug_drop_higher_term_response
+        self.bug_append_no_truncate = bug_append_no_truncate
+        self.instrument_update_term = instrument_update_term
+
+    def __repr__(self) -> str:
+        flags = [name for name, on in vars(self).items() if on]
+        return f"RaftKvConfig({', '.join(flags) or 'correct'})"

@@ -1,0 +1,12 @@
+"""The Figure 1 cache server as a system under test."""
+
+from .config import ToyCacheConfig
+from .mapping import build_toycache_mapping
+from .server import CacheServer, make_toycache_cluster
+
+__all__ = [
+    "CacheServer",
+    "ToyCacheConfig",
+    "build_toycache_mapping",
+    "make_toycache_cluster",
+]

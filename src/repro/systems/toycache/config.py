@@ -1,0 +1,31 @@
+"""Configuration and seeded bugs for the toy cache server."""
+
+from __future__ import annotations
+
+__all__ = ["ToyCacheConfig"]
+
+
+class ToyCacheConfig:
+    """Behaviour switches for :class:`~repro.systems.toycache.CacheServer`.
+
+    The three bug flags each violate the Figure 1 specification in a
+    different way, exercising one divergence kind each:
+
+    * ``bug_wrong_max`` — answer ``Max`` for every request
+      (→ inconsistent state for variable ``msg``),
+    * ``bug_forget_respond`` — never run the respond step
+      (→ missing action ``Respond``),
+    * ``bug_double_respond`` — run the respond step twice
+      (→ unexpected action ``Respond`` at the end of the case).
+    """
+
+    def __init__(self, bug_wrong_max: bool = False,
+                 bug_forget_respond: bool = False,
+                 bug_double_respond: bool = False):
+        self.bug_wrong_max = bug_wrong_max
+        self.bug_forget_respond = bug_forget_respond
+        self.bug_double_respond = bug_double_respond
+
+    def __repr__(self) -> str:
+        flags = [name for name, on in vars(self).items() if on]
+        return f"ToyCacheConfig({', '.join(flags) or 'correct'})"

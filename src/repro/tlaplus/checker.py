@@ -1,0 +1,261 @@
+"""Explicit-state model checker (the TLC substitute).
+
+Breadth-first enumeration of the reachable state space of a
+:class:`~repro.tlaplus.spec.Specification`:
+
+* start from every ``Init`` state,
+* for each frontier state apply every enabled action binding,
+* intern successors (deduplicating by structural equality),
+* check invariants on every new state,
+* record every transition as a labelled edge.
+
+The result is a :class:`~repro.tlaplus.graph.StateGraph` plus checking
+statistics — the same artifact TLC dumps to DOT, which is all Mocket
+needs downstream.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from .errors import CheckingBudgetExceeded, InvariantViolation
+from .graph import StateGraph
+from .spec import Specification
+from .state import ActionLabel, State
+
+__all__ = ["CheckResult", "ModelChecker", "check"]
+
+
+class CheckResult:
+    """Outcome of a model-checking run."""
+
+    def __init__(
+        self,
+        graph: StateGraph,
+        states_explored: int,
+        edges_explored: int,
+        elapsed_seconds: float,
+        complete: bool,
+        diameter: int,
+        violation: Optional[InvariantViolation] = None,
+    ):
+        self.graph = graph
+        self.states_explored = states_explored
+        self.edges_explored = edges_explored
+        self.elapsed_seconds = elapsed_seconds
+        self.complete = complete          # True iff the full space was exhausted
+        self.diameter = diameter          # longest BFS distance from Init (TLC's "depth")
+        self.violation = violation
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def deadlocks(self) -> List[int]:
+        """States with no enabled action (TLC's deadlock check).
+
+        Only meaningful on a complete exploration; a truncated run may
+        report frontier states whose successors were never expanded.
+        """
+        return self.graph.terminal_ids()
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"VIOLATION({self.violation.invariant_name})"
+        completeness = "complete" if self.complete else "truncated"
+        return (
+            f"{self.graph.spec_name}: {self.states_explored} states, "
+            f"{self.edges_explored} edges, diameter {self.diameter}, "
+            f"{self.elapsed_seconds:.3f}s, {completeness}, {status}"
+        )
+
+
+class ModelChecker:
+    """BFS explicit-state checker with state/edge budgets.
+
+    ``max_states`` bounds exploration (raising by default, or truncating
+    when ``truncate=True``) so that unboundedly growing specs can still
+    be used to produce a finite graph for test generation — the paper's
+    action counters serve the same purpose inside the spec itself.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        max_states: Optional[int] = None,
+        truncate: bool = False,
+        stop_on_violation: bool = True,
+    ):
+        self.spec = spec
+        self.max_states = max_states
+        self.truncate = truncate
+        self.stop_on_violation = stop_on_violation
+
+    def run(self) -> CheckResult:
+        start = time.monotonic()
+        graph = StateGraph(self.spec.name)
+        # parent pointers for counterexample traces: node -> (pred, label)
+        parents: Dict[int, Optional[tuple]] = {}
+        depth: Dict[int, int] = {}
+        frontier = deque()
+        violation: Optional[InvariantViolation] = None
+        complete = True
+
+        for state in self.spec.initial_states():
+            node_id = graph.add_state(state, initial=True)
+            if node_id not in parents:
+                parents[node_id] = None
+                depth[node_id] = 0
+                frontier.append(node_id)
+                violation = self._check_state(graph, parents, node_id)
+                if violation is not None and self.stop_on_violation:
+                    return self._finish(graph, start, complete=False, depth=depth,
+                                        violation=violation)
+
+        edges_explored = 0
+        while frontier:
+            node_id = frontier.popleft()
+            state = graph.state_of(node_id)
+            for label, successor in self.spec.enabled(state):
+                edges_explored += 1
+                succ_id = graph.id_of(successor)
+                is_new = succ_id is None
+                if is_new:
+                    if self.max_states is not None and graph.num_states >= self.max_states:
+                        if self.truncate:
+                            complete = False
+                            continue
+                        raise CheckingBudgetExceeded(graph.num_states, self.max_states)
+                    succ_id = graph.add_state(successor)
+                graph.add_edge(node_id, succ_id, label)
+                if is_new:
+                    parents[succ_id] = (node_id, label)
+                    depth[succ_id] = depth[node_id] + 1
+                    frontier.append(succ_id)
+                    violation = self._check_state(graph, parents, succ_id)
+                    if violation is not None and self.stop_on_violation:
+                        return self._finish(graph, start, complete=False, depth=depth,
+                                            violation=violation)
+
+        return self._finish(graph, start, complete=complete, depth=depth,
+                            violation=violation)
+
+    # -- helpers -------------------------------------------------------------
+    def _check_state(self, graph, parents, node_id) -> Optional[InvariantViolation]:
+        inv_name = self.spec.check_invariants(graph.state_of(node_id))
+        if inv_name is None:
+            return None
+        return InvariantViolation(
+            inv_name, graph.state_of(node_id), self.trace_to(graph, parents, node_id)
+        )
+
+    @staticmethod
+    def trace_to(graph: StateGraph, parents: Dict[int, Optional[tuple]], node_id: int):
+        """Reconstruct the counterexample trace ``[(label|None, state), ...]``."""
+        steps: List[tuple] = []
+        current: Optional[int] = node_id
+        while current is not None:
+            parent = parents[current]
+            if parent is None:
+                steps.append((None, graph.state_of(current)))
+                current = None
+            else:
+                pred, label = parent
+                steps.append((label, graph.state_of(current)))
+                current = pred
+        steps.reverse()
+        return steps
+
+    def _finish(self, graph, start, complete, depth, violation) -> CheckResult:
+        elapsed = time.monotonic() - start
+        diameter = max(depth.values()) if depth else 0
+        return CheckResult(
+            graph=graph,
+            states_explored=graph.num_states,
+            edges_explored=graph.num_edges,
+            elapsed_seconds=elapsed,
+            complete=complete,
+            diameter=diameter,
+            violation=violation,
+        )
+
+
+def check(
+    spec: Specification,
+    max_states: Optional[int] = None,
+    truncate: bool = False,
+    stop_on_violation: bool = True,
+) -> CheckResult:
+    """Convenience wrapper: model-check ``spec`` and return the result."""
+    return ModelChecker(
+        spec,
+        max_states=max_states,
+        truncate=truncate,
+        stop_on_violation=stop_on_violation,
+    ).run()
+
+
+class SimulationResult:
+    """Outcome of a simulation run (TLC's ``-simulate`` analogue)."""
+
+    def __init__(self, traces, violation: Optional[InvariantViolation],
+                 states_sampled: int):
+        self.traces = traces              # list of [(label|None, state), ...]
+        self.violation = violation
+        self.states_sampled = states_sampled
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else f"VIOLATION({self.violation.invariant_name})"
+        return (f"SimulationResult({len(self.traces)} traces, "
+                f"{self.states_sampled} states, {status})")
+
+
+def simulate(
+    spec: Specification,
+    traces: int = 10,
+    depth: int = 50,
+    seed: int = 0,
+) -> SimulationResult:
+    """Random-walk simulation: TLC's ``-simulate`` mode.
+
+    Samples ``traces`` behaviours of at most ``depth`` steps each,
+    checking invariants along the way.  Linear cost where exhaustive
+    checking is exponential — the standard tool for models whose full
+    space is out of reach.  Deterministic given ``seed``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    initial_states = spec.initial_states()
+    collected = []
+    states_sampled = 0
+    for _ in range(traces):
+        state = rng.choice(initial_states)
+        trace = [(None, state)]
+        states_sampled += 1
+        inv = spec.check_invariants(state)
+        if inv is not None:
+            violation = InvariantViolation(inv, state, trace)
+            collected.append(trace)
+            return SimulationResult(collected, violation, states_sampled)
+        for _ in range(depth):
+            transitions = list(spec.enabled(state))
+            if not transitions:
+                break
+            label, state = rng.choice(transitions)
+            trace.append((label, state))
+            states_sampled += 1
+            inv = spec.check_invariants(state)
+            if inv is not None:
+                collected.append(trace)
+                return SimulationResult(
+                    collected, InvariantViolation(inv, state, trace),
+                    states_sampled,
+                )
+        collected.append(trace)
+    return SimulationResult(collected, None, states_sampled)

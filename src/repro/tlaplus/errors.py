@@ -1,0 +1,55 @@
+"""Error types raised by the TLA+-style substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "TlaError",
+    "SpecError",
+    "ActionError",
+    "InvariantViolation",
+    "CheckingBudgetExceeded",
+    "DotParseError",
+]
+
+
+class TlaError(Exception):
+    """Base class for all substrate errors."""
+
+
+class SpecError(TlaError):
+    """A specification is malformed (duplicate names, unknown variables, ...)."""
+
+
+class ActionError(TlaError):
+    """An action produced an invalid next state (unknown variable, unfrozen value)."""
+
+
+class InvariantViolation(TlaError):
+    """An invariant failed during model checking.
+
+    Carries the violating state and the trace from an initial state, like
+    TLC's counterexample output.
+    """
+
+    def __init__(self, invariant_name, state, trace):
+        self.invariant_name = invariant_name
+        self.state = state
+        self.trace = list(trace)
+        super().__init__(
+            f"invariant {invariant_name!r} violated after {len(self.trace)} steps"
+        )
+
+
+class CheckingBudgetExceeded(TlaError):
+    """Model checking hit its state or edge budget before exhausting the space."""
+
+    def __init__(self, states_explored, limit):
+        self.states_explored = states_explored
+        self.limit = limit
+        super().__init__(
+            f"state budget exceeded: explored {states_explored} states (limit {limit})"
+        )
+
+
+class DotParseError(TlaError):
+    """A DOT state-graph dump could not be parsed."""

@@ -1,0 +1,317 @@
+"""The TLA+-style specification DSL.
+
+A :class:`Specification` plays the role of a TLA+ module instantiated
+with concrete constants (a TLC "model"):
+
+* *constants* are fixed values assigned before checking (``CONSTANTS``),
+* *variables* are declared with a category from Section 4.1.1 of the
+  paper (state-related, message-related, action counter, auxiliary),
+* *actions* are pure functions ``fn(state, const, **params)`` returning
+  either ``None`` (the action is not enabled for this binding) or a dict
+  of variable updates (variables not mentioned are ``UNCHANGED``),
+* *parameter domains* encode the existential quantifiers of ``Next``
+  (``∃ i ∈ Server : Timeout(i)``); a domain is a static iterable or a
+  callable ``(state, const) -> iterable`` for domains that depend on the
+  current state (e.g. the in-flight message bag),
+* *invariants* are predicates checked on every reached state.
+
+Example::
+
+    spec = Specification("counter", constants={"Limit": 3})
+    spec.add_variable("n", kind=VarKind.STATE)
+
+    @spec.init
+    def init(const):
+        return {"n": 0}
+
+    @spec.action()
+    def Incr(state, const):
+        if state.n >= const["Limit"]:
+            return None
+        return {"n": state.n + 1}
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from .errors import ActionError, SpecError
+from .state import ActionLabel, State
+from .values import freeze
+
+__all__ = [
+    "VarKind",
+    "ActionKind",
+    "VariableDecl",
+    "ActionDecl",
+    "Specification",
+    "from_constant",
+    "in_flight",
+]
+
+
+class VarKind(enum.Enum):
+    """Variable categories from Section 4.1.1 of the paper."""
+
+    STATE = "state"            # mapped to implementation fields, checked
+    MESSAGE = "message"        # checked against the testbed's message sets
+    COUNTER = "counter"        # restricts model checking only; never mapped
+    AUXILIARY = "auxiliary"    # spec-internal bookkeeping; never mapped
+
+
+class ActionKind(enum.Enum):
+    """Action categories from Section 4.1.2 of the paper."""
+
+    SINGLE_NODE = "single_node"
+    MESSAGE_SEND = "message_send"
+    MESSAGE_RECEIVE = "message_receive"
+    FAULT = "fault"
+    USER_REQUEST = "user_request"
+
+
+Domain = Callable[[State, Mapping[str, Any]], Iterable[Any]]
+
+
+def from_constant(name: str) -> Domain:
+    """Domain helper: quantify over the constant ``name`` (e.g. ``Server``)."""
+
+    def domain(state: State, const: Mapping[str, Any]) -> Iterable[Any]:
+        return const[name]
+
+    return domain
+
+
+def in_flight(message_var: str) -> Domain:
+    """Domain helper: quantify over the distinct messages in a message bag.
+
+    Matches TLC's ``∃ m ∈ DOMAIN messages``: a message duplicated in the
+    bag yields a single binding (handling it once per enabled edge).
+    """
+
+    def domain(state: State, const: Mapping[str, Any]) -> Iterable[Any]:
+        return list(state[message_var].keys())
+
+    return domain
+
+
+class VariableDecl:
+    """Declaration of one spec variable."""
+
+    __slots__ = ("name", "kind", "per_node", "doc")
+
+    def __init__(self, name: str, kind: VarKind, per_node: bool, doc: str):
+        self.name = name
+        self.kind = kind
+        self.per_node = per_node
+        self.doc = doc
+
+    def __repr__(self) -> str:
+        return f"VariableDecl({self.name!r}, {self.kind.value}, per_node={self.per_node})"
+
+
+class ActionDecl:
+    """Declaration of one spec action (a disjunct of ``Next``)."""
+
+    __slots__ = ("name", "fn", "params", "kind", "msg_param", "message_var", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., Optional[Mapping[str, Any]]],
+        params: Mapping[str, Any],
+        kind: ActionKind,
+        msg_param: Optional[str],
+        message_var: Optional[str],
+        doc: str,
+    ):
+        self.name = name
+        self.fn = fn
+        self.params = dict(params)
+        self.kind = kind
+        self.msg_param = msg_param
+        self.message_var = message_var
+        self.doc = doc
+
+    def domains(self, state: State, const: Mapping[str, Any]) -> List[Tuple[str, List[Any]]]:
+        """Evaluate every parameter domain against the current state."""
+        evaluated = []
+        for pname, domain in self.params.items():
+            values = domain(state, const) if callable(domain) else domain
+            evaluated.append((pname, list(values)))
+        return evaluated
+
+    def bindings(self, state: State, const: Mapping[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Yield every parameter binding (cartesian product of the domains)."""
+        evaluated = self.domains(state, const)
+        if not evaluated:
+            yield {}
+            return
+        names = [pname for pname, _ in evaluated]
+        for combo in itertools.product(*(values for _, values in evaluated)):
+            yield dict(zip(names, combo))
+
+    def __repr__(self) -> str:
+        return f"ActionDecl({self.name!r}, kind={self.kind.value})"
+
+
+class Specification:
+    """A TLA+ module instantiated with concrete constants."""
+
+    def __init__(self, name: str, constants: Optional[Mapping[str, Any]] = None):
+        self.name = name
+        self.constants: Dict[str, Any] = {
+            k: freeze(v) for k, v in dict(constants or {}).items()
+        }
+        self.variables: Dict[str, VariableDecl] = {}
+        self.actions: Dict[str, ActionDecl] = {}
+        self.invariants: Dict[str, Callable[[State, Mapping[str, Any]], bool]] = {}
+        self._init_fn: Optional[Callable[..., Any]] = None
+
+    # -- declaration -----------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        kind: VarKind = VarKind.STATE,
+        per_node: bool = False,
+        doc: str = "",
+    ) -> VariableDecl:
+        """Declare a variable.  ``per_node=True`` marks a function over nodes
+        (``[s \\in Server |-> ...]``) whose runtime value is assembled from
+        per-node snapshots by the state checker."""
+        if name in self.variables:
+            raise SpecError(f"duplicate variable {name!r} in spec {self.name!r}")
+        decl = VariableDecl(name, kind, per_node, doc)
+        self.variables[name] = decl
+        return decl
+
+    def init(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Register the ``Init`` predicate.
+
+        ``fn(const)`` must return a dict assigning every declared variable,
+        or a list of such dicts when ``Init`` is a disjunction.
+        """
+        if self._init_fn is not None:
+            raise SpecError(f"spec {self.name!r} already has an Init")
+        self._init_fn = fn
+        return fn
+
+    def action(
+        self,
+        name: Optional[str] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        kind: ActionKind = ActionKind.SINGLE_NODE,
+        msg_param: Optional[str] = None,
+        message_var: Optional[str] = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering an action (one disjunct of ``Next``).
+
+        ``msg_param`` names the parameter bound to the consumed message for
+        ``MESSAGE_RECEIVE`` actions; ``message_var`` names the bag variable
+        the message travels through.
+        """
+
+        def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+            action_name = name or fn.__name__
+            if action_name in self.actions:
+                raise SpecError(f"duplicate action {action_name!r} in spec {self.name!r}")
+            if msg_param is not None and msg_param not in (params or {}):
+                raise SpecError(
+                    f"action {action_name!r}: msg_param {msg_param!r} is not a parameter"
+                )
+            if message_var is not None and message_var not in self.variables:
+                raise SpecError(
+                    f"action {action_name!r}: unknown message variable {message_var!r}"
+                )
+            self.actions[action_name] = ActionDecl(
+                name=action_name,
+                fn=fn,
+                params=params or {},
+                kind=kind,
+                msg_param=msg_param,
+                message_var=message_var,
+                doc=fn.__doc__ or "",
+            )
+            return fn
+
+        return decorator
+
+    def invariant(
+        self, name: Optional[str] = None
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering an invariant predicate ``fn(state, const)``."""
+
+        def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+            inv_name = name or fn.__name__
+            if inv_name in self.invariants:
+                raise SpecError(f"duplicate invariant {inv_name!r} in spec {self.name!r}")
+            self.invariants[inv_name] = fn
+            return fn
+
+        return decorator
+
+    # -- semantics --------------------------------------------------------------
+    def initial_states(self) -> List[State]:
+        """Evaluate ``Init`` and validate that every variable is assigned."""
+        if self._init_fn is None:
+            raise SpecError(f"spec {self.name!r} has no Init")
+        result = self._init_fn(self.constants)
+        assignments = result if isinstance(result, list) else [result]
+        states = []
+        for assignment in assignments:
+            missing = set(self.variables) - set(assignment)
+            extra = set(assignment) - set(self.variables)
+            if missing:
+                raise SpecError(f"Init leaves variables unassigned: {sorted(missing)}")
+            if extra:
+                raise SpecError(f"Init assigns undeclared variables: {sorted(extra)}")
+            states.append(State(assignment))
+        return states
+
+    def apply(self, decl: ActionDecl, state: State, binding: Mapping[str, Any]) -> Optional[State]:
+        """Apply one action binding to ``state``; None when not enabled."""
+        try:
+            updates = decl.fn(state, self.constants, **binding)
+        except Exception as exc:  # surface the action name in the traceback
+            raise ActionError(f"action {decl.name!r} raised {exc!r} on {state!r}") from exc
+        if updates is None:
+            return None
+        extra = set(updates) - set(self.variables)
+        if extra:
+            raise ActionError(
+                f"action {decl.name!r} assigned undeclared variables: {sorted(extra)}"
+            )
+        return state.with_updates(updates)
+
+    def enabled(self, state: State) -> Iterator[Tuple[ActionLabel, State]]:
+        """Yield every enabled ``(label, successor)`` pair from ``state``.
+
+        This is the ``Next`` relation TLC iterates: all actions, all
+        parameter bindings, skipping bindings whose precondition fails.
+        """
+        for decl in self.actions.values():
+            for binding in decl.bindings(state, self.constants):
+                successor = self.apply(decl, state, binding)
+                if successor is not None:
+                    yield ActionLabel(decl.name, binding), successor
+
+    def check_invariants(self, state: State) -> Optional[str]:
+        """Return the name of the first violated invariant, or None."""
+        for inv_name, fn in self.invariants.items():
+            if not fn(state, self.constants):
+                return inv_name
+        return None
+
+    # -- introspection -------------------------------------------------------------
+    def variables_of_kind(self, kind: VarKind) -> List[str]:
+        return [name for name, decl in self.variables.items() if decl.kind is kind]
+
+    def actions_of_kind(self, kind: ActionKind) -> List[str]:
+        return [name for name, decl in self.actions.items() if decl.kind is kind]
+
+    def __repr__(self) -> str:
+        return (
+            f"Specification({self.name!r}, {len(self.variables)} variables, "
+            f"{len(self.actions)} actions)"
+        )

@@ -1,0 +1,122 @@
+"""States and action labels for the model checker.
+
+A :class:`State` is an immutable assignment of values to the spec's
+variables — exactly what one node of TLC's state-space graph holds.  An
+:class:`ActionLabel` is the label on an edge: the action name plus the
+parameter binding that fired it (e.g. ``RequestVote(i=n1, j=n2)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+from .values import FrozenDict, freeze, thaw
+
+__all__ = ["State", "ActionLabel"]
+
+
+class State:
+    """An immutable variable assignment with attribute-style access.
+
+    Actions read variables as attributes (``state.currentTerm``) to stay
+    close to the TLA+ source they transcribe.  States hash and compare
+    structurally, which is what lets the checker deduplicate them.
+    """
+
+    __slots__ = ("_vars", "_hash")
+
+    def __init__(self, variables: Mapping[str, Any]):
+        frozen = FrozenDict({name: freeze(value) for name, value in variables.items()})
+        object.__setattr__(self, "_vars", frozen)
+        object.__setattr__(self, "_hash", None)
+
+    # -- access ---------------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise AttributeError(f"state has no variable {name!r}") from None
+
+    def __getitem__(self, name: str) -> Any:
+        return self._vars[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._vars.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def variables(self) -> Tuple[str, ...]:
+        """Variable names, sorted."""
+        return tuple(sorted(self._vars))
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for name in sorted(self._vars):
+            yield name, self._vars[name]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A plain (thawed) dict copy, convenient for assertions and dumps."""
+        return {name: thaw(value) for name, value in self._vars.items()}
+
+    # -- functional update ------------------------------------------------------
+    def with_updates(self, updates: Mapping[str, Any]) -> "State":
+        """Return the successor state; variables absent from ``updates`` are UNCHANGED."""
+        if not updates:
+            return self
+        merged = dict(self._vars)
+        for name, value in updates.items():
+            if name not in merged:
+                raise KeyError(f"action assigned unknown variable {name!r}")
+            merged[name] = freeze(value)
+        return State(merged)
+
+    # -- identity -----------------------------------------------------------------
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(self._vars)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._vars == other._vars
+
+    def __repr__(self) -> str:
+        body = " /\\ ".join(f"{name}={value!r}" for name, value in self.items())
+        return f"State({body})"
+
+    def fingerprint(self) -> int:
+        """A stable structural fingerprint (TLC's state fingerprint analogue)."""
+        return hash(self._vars)
+
+
+class ActionLabel:
+    """The label of a state-graph edge: action name + parameter binding."""
+
+    __slots__ = ("name", "params", "_hash")
+
+    def __init__(self, name: str, params: Mapping[str, Any] = ()):  # type: ignore[assignment]
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", FrozenDict(
+            {k: freeze(v) for k, v in dict(params).items()}
+        ))
+        object.__setattr__(self, "_hash", hash((name, self.params)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ActionLabel is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ActionLabel):
+            return NotImplemented
+        return self.name == other.name and self.params == other.params
+
+    def __repr__(self) -> str:
+        if not self.params:
+            return f"{self.name}()"
+        body = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items(), key=lambda kv: str(kv[0])))
+        return f"{self.name}({body})"

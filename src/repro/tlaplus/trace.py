@@ -1,0 +1,56 @@
+"""Counterexample trace formatting (TLC's error-trace output).
+
+When an invariant fails, the checker returns the trace from an initial
+state to the violating state.  :func:`format_trace` renders it the way
+TLC does — one numbered state per step, annotated with the action that
+produced it — and :func:`diff_states` shows only what changed, which is
+what one actually reads in long traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .state import ActionLabel, State
+
+__all__ = ["diff_states", "format_trace", "format_violation"]
+
+Step = Tuple[Optional[ActionLabel], State]
+
+
+def diff_states(before: Optional[State], after: State) -> Dict[str, Any]:
+    """The variables whose value changed between two states."""
+    if before is None:
+        return dict(after.items())
+    return {
+        name: value
+        for name, value in after.items()
+        if before.get(name) != value
+    }
+
+
+def format_trace(trace: Sequence[Step], full_states: bool = False) -> str:
+    """Render a trace as TLC-style numbered steps.
+
+    ``full_states=False`` (default) prints only changed variables per
+    step; the initial state is always printed in full.
+    """
+    lines: List[str] = []
+    previous: Optional[State] = None
+    for index, (label, state) in enumerate(trace, start=1):
+        header = "Initial state" if label is None else repr(label)
+        lines.append(f"State {index}: {header}")
+        shown = state.items() if (full_states or label is None) \
+            else diff_states(previous, state).items()
+        for name, value in sorted(shown):
+            lines.append(f"  /\\ {name} = {value!r}")
+        previous = state
+    return "\n".join(lines)
+
+
+def format_violation(violation) -> str:
+    """Render an :class:`~repro.tlaplus.errors.InvariantViolation`."""
+    return (
+        f"Invariant {violation.invariant_name} is violated.\n"
+        f"{format_trace(violation.trace)}"
+    )

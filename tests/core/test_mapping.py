@@ -1,0 +1,276 @@
+"""Unit tests for the mapping registry, annotations and message sets."""
+
+import pytest
+
+from repro.core.mapping import (
+    FaultKind,
+    MappingError,
+    MessageCheckMode,
+    SpecMapping,
+    TriggerKind,
+    action_span,
+    current_scope,
+    get_msg,
+    mocket_action,
+    mocket_receive,
+    record_var,
+    traced_field,
+)
+from repro.core.testbed import MessageSets, UnknownMessage
+from repro.tlaplus import (
+    ActionKind,
+    Specification,
+    VarKind,
+    bag_add,
+    freeze,
+    in_flight,
+)
+from repro.tlaplus.values import EMPTY_BAG, FrozenDict
+
+
+def _spec():
+    spec = Specification("s", constants={"Server": ("n1", "n2")})
+    spec.add_variable("role", per_node=True)
+    spec.add_variable("msgs", kind=VarKind.MESSAGE)
+    spec.add_variable("ctr", kind=VarKind.COUNTER)
+    spec.add_variable("aux", kind=VarKind.AUXILIARY)
+
+    @spec.init
+    def init(const):
+        return {"role": {"n1": "F", "n2": "F"}, "msgs": EMPTY_BAG, "ctr": 0, "aux": 0}
+
+    @spec.action()
+    def Act(state, const):
+        return None
+
+    @spec.action(params={"m": in_flight("msgs")}, kind=ActionKind.MESSAGE_RECEIVE,
+                 msg_param="m", message_var="msgs")
+    def Recv(state, const, m):
+        return None
+
+    @spec.action(kind=ActionKind.FAULT)
+    def Crash(state, const):
+        return None
+
+    @spec.action(kind=ActionKind.USER_REQUEST)
+    def Write(state, const):
+        return None
+
+    return spec
+
+
+class TestSpecMapping:
+    def test_validate_complete_mapping(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_variable("role", "state")
+        mapping.map_action("Act")
+        mapping.map_action("Recv")
+        mapping.map_crash("Crash")
+        mapping.map_user_request("Write", lambda cluster, params, occ: None)
+        mapping.validate()
+
+    def test_unmapped_state_variable_fails(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_action("Act")
+        mapping.map_action("Recv")
+        mapping.map_crash("Crash")
+        mapping.map_user_request("Write", lambda *a: None)
+        with pytest.raises(MappingError, match="role"):
+            mapping.validate()
+
+    def test_skip_variable_satisfies_validation(self):
+        mapping = SpecMapping(_spec())
+        mapping.skip_variable("role")
+        mapping.map_action("Act")
+        mapping.map_action("Recv")
+        mapping.map_crash("Crash")
+        mapping.map_user_request("Write", lambda *a: None)
+        mapping.validate()
+        assert mapping.checked_variables() == []
+
+    def test_unmapped_action_fails(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_variable("role")
+        with pytest.raises(MappingError, match="Act"):
+            mapping.validate()
+
+    def test_counter_must_not_be_mapped(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_variable("role")
+        mapping.map_variable("ctr")
+        mapping.map_action("Act")
+        mapping.map_action("Recv")
+        mapping.map_crash("Crash")
+        mapping.map_user_request("Write", lambda *a: None)
+        with pytest.raises(MappingError, match="ctr"):
+            mapping.validate()
+
+    def test_fault_mapped_as_spontaneous_fails(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_variable("role")
+        mapping.map_action("Act")
+        mapping.map_action("Recv")
+        mapping.map_action("Crash")  # wrong: Crash is a fault
+        mapping.map_user_request("Write", lambda *a: None)
+        with pytest.raises(MappingError, match="Crash"):
+            mapping.validate()
+
+    def test_user_request_mapped_as_spontaneous_fails(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_variable("role")
+        mapping.map_action("Act")
+        mapping.map_action("Recv")
+        mapping.map_crash("Crash")
+        mapping.map_action("Write")  # wrong: Write is a user request
+        with pytest.raises(MappingError, match="Write"):
+            mapping.validate()
+
+    def test_unknown_names_rejected(self):
+        mapping = SpecMapping(_spec())
+        with pytest.raises(MappingError):
+            mapping.map_variable("zzz")
+        with pytest.raises(MappingError):
+            mapping.map_action("zzz")
+        with pytest.raises(MappingError):
+            mapping.action_mapping("zzz")
+
+    def test_constant_translation(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_constant("Leader", 2)
+        mapping.map_constant("Follower", 0)
+        assert mapping.to_spec_value(2) == "Leader"
+        assert mapping.to_spec_value([0, 2]) == ("Follower", "Leader")
+        assert mapping.to_spec_value({"a": 2}) == FrozenDict({"a": "Leader"})
+        assert mapping.to_spec_value({2, 0}) == frozenset({"Leader", "Follower"})
+        assert mapping.to_spec_value("untouched") == "untouched"
+
+    def test_message_variables_listed(self):
+        assert SpecMapping(_spec()).message_variables() == ["msgs"]
+
+    def test_fault_kinds_recorded(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_crash("Crash", node_param="i")
+        am = mapping.action_mapping("Crash")
+        assert am.trigger is TriggerKind.FAULT
+        assert am.fault_kind is FaultKind.CRASH
+        assert am.node_param == "i"
+
+    def test_mapping_loc_counts(self):
+        mapping = SpecMapping(_spec())
+        mapping.map_variable("role")
+        mapping.map_constant("Leader", 2)
+        mapping.map_action("Act")
+        assert mapping.mapping_loc() == 1 + 1 + 2
+
+
+class TestMessageSets:
+    def test_add_remove(self):
+        sets = MessageSets(["msgs"])
+        sets.add("msgs", {"t": "x"})
+        assert sets.as_bag("msgs") == bag_add(EMPTY_BAG, {"t": "x"})
+        sets.remove("msgs", {"t": "x"})
+        assert sets.as_bag("msgs") == EMPTY_BAG
+
+    def test_remove_unknown_raises(self):
+        sets = MessageSets(["msgs"])
+        with pytest.raises(UnknownMessage):
+            sets.remove("msgs", {"t": "x"})
+
+    def test_unknown_variable_raises(self):
+        sets = MessageSets(["msgs"])
+        with pytest.raises(KeyError):
+            sets.add("nope", 1)
+
+    def test_duplicates_counted(self):
+        sets = MessageSets(["msgs"])
+        sets.add("msgs", "m")
+        sets.add("msgs", "m")
+        assert sets.as_bag("msgs")[freeze("m")] == 2
+
+    def test_reset(self):
+        sets = MessageSets(["a", "b"])
+        sets.add("a", 1)
+        sets.reset()
+        assert sets.as_bag("a") == EMPTY_BAG
+        assert sets.variables() == ["a", "b"]
+
+    def test_snapshot(self):
+        sets = MessageSets(["a"])
+        sets.add("a", 1)
+        snap = sets.snapshot()
+        assert snap["a"] == bag_add(EMPTY_BAG, 1)
+
+
+class FakeCluster:
+    mocket_runtime = None
+
+
+class FakeNode:
+    """Just enough node for annotation unit tests (no runtime attached)."""
+
+    def __init__(self):
+        self.cluster = FakeCluster()
+        self.mocket_shadow = {}
+        self.node_id = "n1"
+
+    field = traced_field("specField")
+
+    @mocket_action("Act", params=lambda self, x: {"x": x})
+    def act(self, x):
+        return x * 2
+
+    @mocket_receive("Recv", "msgs", msg=lambda self, m: {"v": m})
+    def recv(self, m):
+        return m
+
+
+class TestAnnotationsStandalone:
+    def test_traced_field_updates_shadow(self):
+        node = FakeNode()
+        node.field = 42
+        assert node.field == 42
+        assert node.mocket_shadow == {"specField": 42}
+
+    def test_traced_field_read_before_write_raises(self):
+        node = FakeNode()
+        with pytest.raises(AttributeError, match="specField"):
+            _ = node.field
+
+    def test_traced_field_class_access_returns_descriptor(self):
+        assert isinstance(FakeNode.field, traced_field)
+
+    def test_record_var(self):
+        node = FakeNode()
+        record_var(node, "mv", 7)
+        assert node.mocket_shadow["mv"] == 7
+
+    def test_decorated_methods_are_transparent_without_runtime(self):
+        node = FakeNode()
+        assert node.act(3) == 6
+        assert node.recv("m") == "m"
+        assert node.act.mocket_action_name == "Act"
+        assert node.recv.mocket_action_name == "Recv"
+
+    def test_action_span_noop_without_runtime(self):
+        node = FakeNode()
+        with action_span(node, "Snippet", {"i": "n1"}) as scope:
+            assert current_scope() is scope
+            assert not scope.dropped
+        assert current_scope() is None
+
+    def test_get_msg_outside_scope_without_runtime_is_noop(self):
+        node = FakeNode()
+        get_msg(node, "msgs", a=1)  # must not raise
+
+    def test_get_msg_inside_scope_records(self):
+        node = FakeNode()
+        with action_span(node, "Send") as scope:
+            get_msg(node, "msgs", a=1, b=2)
+        assert scope.sent_messages == [("msgs", {"a": 1, "b": 2})]
+
+    def test_nested_spans_stack(self):
+        node = FakeNode()
+        with action_span(node, "Outer") as outer:
+            with action_span(node, "Inner") as inner:
+                assert current_scope() is inner
+            assert current_scope() is outer

@@ -1,0 +1,94 @@
+"""Tests for the node-coverage traversal strategy (Section 4.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.testgen import edge_coverage_paths, node_coverage_paths
+from repro.tlaplus import ActionLabel, State, StateGraph, check
+
+
+def _graph(edges, initial=(0,), n_states=None):
+    graph = StateGraph("t")
+    n = n_states or (max(max(s, d) for s, d, _ in edges) + 1 if edges else 1)
+    for i in range(n):
+        graph.add_state(State({"id": i}), initial=i in initial)
+    for src, dst, name in edges:
+        graph.add_edge(src, dst, ActionLabel(name))
+    return graph
+
+
+class TestNodeCoverage:
+    def test_single_chain(self):
+        graph = _graph([(0, 1, "A"), (1, 2, "B")])
+        result = node_coverage_paths(graph)
+        assert len(result.paths) == 1
+        assert [e.label.name for e in result.paths[0]] == ["A", "B"]
+        assert result.uncovered == set()
+
+    def test_parallel_edges_covered_once(self):
+        """Two actions between the same states: node coverage takes one —
+        the blind spot that makes Mocket prefer edge coverage."""
+        graph = _graph([(0, 1, "A"), (0, 1, "B")])
+        node_result = node_coverage_paths(graph)
+        edge_result = edge_coverage_paths(graph)
+        node_actions = {e.label.name for p in node_result.paths for e in p}
+        edge_actions = {e.label.name for p in edge_result.paths for e in p}
+        assert len(node_actions) == 1
+        assert edge_actions == {"A", "B"}
+
+    def test_all_reachable_states_visited(self):
+        graph = _graph([
+            (0, 1, "A"), (0, 2, "B"), (1, 3, "C"), (2, 4, "D"), (3, 0, "L"),
+        ])
+        result = node_coverage_paths(graph)
+        assert result.uncovered == set()
+
+    def test_unreachable_states_reported(self):
+        graph = _graph([(0, 1, "A"), (2, 3, "B")])
+        result = node_coverage_paths(graph)
+        assert result.uncovered == {(2,), (3,)}
+
+    def test_end_states_cut_paths(self):
+        graph = _graph([(0, 1, "A"), (1, 2, "B")])
+        result = node_coverage_paths(graph, end_state_ids={1})
+        assert [e.label.name for e in result.paths[0]] == ["A"]
+
+    def test_max_paths(self):
+        graph = _graph([(0, i, f"A{i}") for i in range(1, 6)])
+        result = node_coverage_paths(graph, max_paths=2)
+        assert len(result.paths) == 2
+
+    def test_never_more_paths_than_edge_coverage(self):
+        from repro.specs import build_example_spec
+
+        graph = check(build_example_spec()).graph
+        node_result = node_coverage_paths(graph)
+        edge_result = edge_coverage_paths(graph)
+        assert len(node_result.paths) <= len(edge_result.paths)
+        assert node_result.uncovered == set()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        min_size=1, max_size=12,
+    ))
+    def test_property_reachable_nodes_all_covered(self, pairs):
+        edges = [(s, d, f"E{i}") for i, (s, d) in enumerate(pairs)]
+        graph = _graph(edges, n_states=7)
+        result = node_coverage_paths(graph)
+        # compute reachability independently
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for edge in graph.out_edges(node):
+                if edge.dst not in reachable:
+                    reachable.add(edge.dst)
+                    frontier.append(edge.dst)
+        assert result.covered == {(n,) for n in reachable}
+        # within a single path no state repeats (each node claimed once),
+        # although paths may share prefixes
+        for path in result.paths:
+            nodes = [path[0].src] + [e.dst for e in path]
+            assert len(nodes) == len(set(nodes))

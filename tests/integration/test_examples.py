@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; a refactor that breaks one
+should fail the suite, not the reader.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "13 states" in out
+        assert "Inconsistent state for variable msg" in out
+        assert "Missing action Respond" in out
+        assert "Unexpected action Respond" in out
+
+    def test_raftkv_store(self):
+        out = _run("raftkv_store.py")
+        assert "n1 is leader" in out
+        assert "durable log intact after restart" in out
+
+    def test_spec_bug_demo(self):
+        out = _run("spec_bug_demo.py")
+        assert "Missing action UpdateTerm" in out
+        assert "Inconsistent state for variable messages" in out
+
+    def test_zookeeper_election(self):
+        out = _run("zookeeper_election.py", timeout=360.0)
+        assert "cases conform" in out
+        assert "Unexpected action HandleVote" in out
+        assert "Missing action StartElection" in out
+
+    def test_raft_bug_hunt(self):
+        out = _run("raft_bug_hunt.py", timeout=360.0)
+        assert "Inconsistent state for variable votesGranted" in out
+        assert "Unexpected action HandleRequestVoteResponse" in out
+        assert "bug found after" in out

@@ -1,0 +1,164 @@
+"""Property-based tests: protocol invariants along random spec walks.
+
+Hypothesis drives random (but spec-legal) walks through the Raft and
+ZAB specifications and checks protocol invariants the model checker
+would otherwise only certify for the explored configurations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.testgen import scenario_case
+from repro.specs.raft import LEADER, NIL, RaftSpecOptions, build_raft_spec
+from repro.specs.zab import ZabSpecOptions, build_zab_spec
+from repro.tlaplus import bag_size, check, is_bag
+
+
+def _walk(spec, choices, max_steps=25):
+    """Take a deterministic pseudo-random walk; returns visited states."""
+    (state,) = spec.initial_states()
+    visited = [state]
+    for choice in choices[:max_steps]:
+        transitions = sorted(spec.enabled(state), key=lambda t: repr(t[0]))
+        if not transitions:
+            break
+        _, state = transitions[choice % len(transitions)]
+        visited.append(state)
+    return visited
+
+
+@pytest.fixture(scope="module")
+def raft_spec():
+    return build_raft_spec(RaftSpecOptions(
+        servers=("n1", "n2", "n3"), max_term=2, max_client_requests=1,
+        enable_restart=True, enable_drop=True, enable_duplicate=True,
+        name="raft-walk",
+    ))
+
+
+@pytest.fixture(scope="module")
+def zab_spec():
+    return build_zab_spec(ZabSpecOptions(
+        servers=("n1", "n2", "n3"), max_elections=2, max_crashes=1,
+        max_restarts=1, name="zab-walk",
+    ))
+
+
+class TestRaftWalkProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_election_safety_along_walks(self, raft_spec, choices):
+        for state in _walk(raft_spec, choices):
+            leaders = [i for i in ("n1", "n2", "n3")
+                       if state.state[i] == LEADER]
+            terms = [state.currentTerm[i] for i in leaders]
+            assert len(terms) == len(set(terms))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_terms_monotone_and_votes_well_formed(self, raft_spec, choices):
+        previous = None
+        for state in _walk(raft_spec, choices):
+            for i in ("n1", "n2", "n3"):
+                if previous is not None:
+                    assert state.currentTerm[i] >= previous.currentTerm[i]
+                assert state.votedFor[i] == NIL or state.votedFor[i] in (
+                    "n1", "n2", "n3")
+                assert state.commitIndex[i] <= len(state.log[i])
+                # log terms never exceed the node's current term... they may
+                # exceed a *follower's* term before it catches up, but never
+                # the global max
+            assert all(
+                entry[0] <= max(state.currentTerm[j] for j in ("n1", "n2", "n3"))
+                for i in ("n1", "n2", "n3") for entry in state.log[i]
+            )
+            previous = state
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_message_bag_stays_well_formed_and_bounded(self, raft_spec, choices):
+        for state in _walk(raft_spec, choices):
+            assert is_bag(state.messages)
+            # the built-in exchange bound keeps the bag small
+            assert bag_size(state.messages) <= 24
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=20))
+    def test_votes_granted_subset_of_responded(self, raft_spec, choices):
+        for state in _walk(raft_spec, choices):
+            for i in ("n1", "n2", "n3"):
+                assert state.votesGranted[i] <= state.votesResponded[i]
+
+
+class TestZabWalkProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_epochs_monotone(self, zab_spec, choices):
+        previous = None
+        for state in _walk(zab_spec, choices):
+            for i in ("n1", "n2", "n3"):
+                assert state.currentEpoch[i] <= state.acceptedEpoch[i]
+                if previous is not None:
+                    assert state.acceptedEpoch[i] >= previous.acceptedEpoch[i]
+                    assert state.currentEpoch[i] >= previous.currentEpoch[i]
+            previous = state
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_offline_nodes_never_change(self, zab_spec, choices):
+        previous = None
+        for state in _walk(zab_spec, choices):
+            if previous is not None:
+                for i in ("n1", "n2", "n3"):
+                    if not previous.online[i] and not state.online[i]:
+                        for var in ("state", "round", "vote", "acceptedEpoch",
+                                    "currentEpoch", "lastZxid"):
+                            assert state[var][i] == previous[var][i]
+            previous = state
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=25))
+    def test_bags_well_formed(self, zab_spec, choices):
+        for state in _walk(zab_spec, choices):
+            assert is_bag(state.le_msgs)
+            assert is_bag(state.bc_msgs)
+
+
+class TestGraphScenarioAgreement:
+    """Any path read off a checked graph re-validates as a scenario and
+    reproduces the same states — the two test-case sources agree."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=10))
+    def test_graph_paths_revalidate(self, seed, length):
+        from repro.specs import build_example_spec
+
+        spec = build_example_spec()
+        graph = check(spec).graph
+        # deterministic pseudo-random path from the initial state
+        node_id = graph.initial_ids[0]
+        schedule = []
+        expected = []
+        rnd = seed
+        for _ in range(length):
+            edges = graph.out_edges(node_id)
+            if not edges:
+                break
+            rnd = (rnd * 1103515245 + 12345) % (2 ** 31)
+            edge = edges[rnd % len(edges)]
+            schedule.append(edge.label)
+            expected.append(graph.state_of(edge.dst))
+            node_id = edge.dst
+        if not schedule:
+            return
+        _, case = scenario_case(spec, schedule)
+        assert [step.expected_state for step in case.steps] == expected

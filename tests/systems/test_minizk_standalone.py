@@ -1,0 +1,139 @@
+"""minizk as a plain distributed system: FLE settles, epochs agree."""
+
+import time
+
+import pytest
+
+from repro.systems.minizk import MiniZkConfig, ZkState, make_minizk_cluster
+
+
+def _wait_until(predicate, timeout=3.0, poll=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+@pytest.fixture()
+def cluster():
+    with make_minizk_cluster(("n1", "n2", "n3")) as c:
+        yield c
+
+
+class TestElectionSettles:
+    def test_highest_sid_becomes_leader(self, cluster):
+        for node in cluster.live_nodes():
+            node.trigger_start_election()
+        assert _wait_until(lambda: cluster.node("n3").state is ZkState.LEADING)
+        assert _wait_until(
+            lambda: cluster.node("n1").state is ZkState.FOLLOWING
+            and cluster.node("n2").state is ZkState.FOLLOWING
+        )
+        # With fully concurrent elections the simplified FLE may commit a
+        # follower to an intermediate vote (the verified state space allows
+        # this too); each follower has settled on *some* leader.
+        assert cluster.node("n1").leader is not None
+        assert cluster.node("n2").leader is not None
+
+    def test_single_starter_still_settles(self, cluster):
+        cluster.node("n3").trigger_start_election()
+        assert _wait_until(lambda: cluster.node("n3").state is ZkState.LEADING)
+
+    def test_higher_zxid_wins_over_sid(self, cluster):
+        n1 = cluster.node("n1")
+        n1.last_zxid = 5
+        n1.storage.set("lastZxid", 5)
+        for node in cluster.live_nodes():
+            node.trigger_start_election()
+        assert _wait_until(lambda: n1.state is ZkState.LEADING)
+
+    def test_buggy_rebroadcast_floods_network(self):
+        """ZOOKEEPER-1419 standalone: the buggy cluster sends far more
+        notifications than the fixed one for the same election."""
+        def run(config):
+            with make_minizk_cluster(("n1", "n2", "n3", "n4", "n5"), config) as c:
+                for node in c.live_nodes():
+                    node.trigger_start_election()
+                _wait_until(lambda: any(
+                    n.state is ZkState.LEADING for n in c.live_nodes()))
+                time.sleep(0.3)  # let the storm develop
+                return c.network.sent_count
+
+        fixed = run(MiniZkConfig())
+        buggy = run(MiniZkConfig(bug_rebroadcast_on_worse_vote=True))
+        assert buggy > fixed * 1.5
+
+
+class TestEpochHandshake:
+    def _elect(self, cluster):
+        for node in cluster.live_nodes():
+            node.trigger_start_election()
+        assert _wait_until(lambda: cluster.node("n3").state is ZkState.LEADING)
+        assert _wait_until(lambda: all(
+            cluster.node(n).state is ZkState.FOLLOWING for n in ("n1", "n2")))
+        return cluster.node("n3")
+
+    def test_full_handshake_commits_epoch(self, cluster):
+        leader = self._elect(cluster)
+        for peer in leader.peers:
+            leader.send_leader_info(peer)
+        assert _wait_until(lambda: leader.current_epoch == 1)
+        assert _wait_until(
+            lambda: cluster.node("n1").current_epoch == 1
+            and cluster.node("n2").current_epoch == 1
+        )
+
+    def test_epochs_are_persistent(self, cluster):
+        leader = self._elect(cluster)
+        for peer in leader.peers:
+            leader.send_leader_info(peer)
+        assert _wait_until(lambda: cluster.node("n2").current_epoch == 1)
+        node = cluster.restart_node("n2")
+        assert node.accepted_epoch == 1
+        assert node.current_epoch == 1
+        assert node.state is ZkState.LOOKING  # volatile reset
+
+
+class TestZk1653Standalone:
+    def _crash_between_epoch_writes(self, config):
+        cluster = make_minizk_cluster(("n1", "n2", "n3"), config)
+        cluster.deploy()
+        try:
+            for node in cluster.live_nodes():
+                node.trigger_start_election()
+            leader = cluster.node("n3")
+            assert _wait_until(lambda: leader.state is ZkState.LEADING)
+            assert _wait_until(
+                lambda: cluster.node("n2").state is ZkState.FOLLOWING)
+            # deliver LEADERINFO by hand so the crash lands between the
+            # two epoch writes
+            n2 = cluster.node("n2")
+            n2.handle_leader_info({"type": "LeaderInfo", "epoch": 1,
+                                   "src": "n3", "dst": "n2"})
+            assert n2.accepted_epoch == 1 and n2.current_epoch == 0
+            cluster.crash_node("n2")
+            return cluster, cluster.restart_node("n2")
+        except Exception:
+            cluster.shutdown()
+            raise
+
+    def test_fixed_node_rejoins_election(self):
+        cluster, node = self._crash_between_epoch_writes(MiniZkConfig())
+        try:
+            assert not node.failed
+            node.trigger_start_election()
+            assert node.round == 1  # election actually started
+        finally:
+            cluster.shutdown()
+
+    def test_buggy_node_refuses_to_start(self):
+        config = MiniZkConfig(bug_epoch_mismatch_abort=True)
+        cluster, node = self._crash_between_epoch_writes(config)
+        try:
+            assert node.failed
+            node.trigger_start_election()
+            assert node.round == 0  # lookForLeader never ran
+        finally:
+            cluster.shutdown()

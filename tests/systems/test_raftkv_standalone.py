@@ -1,0 +1,151 @@
+"""raftkv as a plain distributed system: blocking RPC, KV state machine."""
+
+import time
+
+import pytest
+
+from repro.systems.raftkv import RaftKvConfig, make_raftkv_cluster
+from repro.systems.raftkv.node import KvRole, spec_msg_of
+
+
+def _wait_until(predicate, timeout=3.0, poll=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+@pytest.fixture()
+def cluster():
+    with make_raftkv_cluster(("n1", "n2", "n3")) as c:
+        yield c
+
+
+def _elect(cluster, node_id="n1"):
+    node = cluster.node(node_id)
+    node.trigger_timeout()
+    for peer in node.peers:
+        node.solicit_vote(peer)
+    assert _wait_until(lambda: node.role is KvRole.LEADER)
+    return node
+
+
+class TestElection:
+    def test_blocking_vote_exchange_elects_leader(self, cluster):
+        leader = _elect(cluster)
+        assert leader.current_term == 1
+        assert cluster.node("n2").voted_for == "n1"
+
+    def test_higher_term_response_steps_candidate_down(self, cluster):
+        n2 = cluster.node("n2")
+        n2.trigger_timeout()
+        n2.trigger_timeout()  # n2 at term 2
+        n1 = cluster.node("n1")
+        n1.trigger_timeout()  # n1 candidate at term 1
+        n1.solicit_vote("n2")
+        assert _wait_until(lambda: n1.current_term == 2)
+        assert n1.role is KvRole.FOLLOWER
+
+    def test_buggy_node_ignores_higher_term_response(self):
+        config = RaftKvConfig(bug_drop_higher_term_response=True)
+        with make_raftkv_cluster(("n1", "n2", "n3"), config) as cluster:
+            n2 = cluster.node("n2")
+            n2.trigger_timeout()
+            n2.trigger_timeout()
+            n1 = cluster.node("n1")
+            n1.trigger_timeout()
+            n1.solicit_vote("n2")
+            time.sleep(0.2)
+            assert n1.current_term == 1         # the response was swallowed
+            assert n1.role is KvRole.CANDIDATE
+
+
+class TestReplicationAndKv:
+    def test_write_replicates_and_applies(self, cluster):
+        leader = _elect(cluster)
+        assert leader.client_request(("color", "blue"))
+        for peer in leader.peers:
+            leader.replicate(peer)
+        assert _wait_until(lambda: leader.commit_index == 1)
+        leader.advance_commit_index()  # idempotent
+        assert leader.get("color") == "blue"
+        # followers apply once the leader's commit index propagates
+        for peer in leader.peers:
+            leader.replicate(peer)
+        assert _wait_until(
+            lambda: cluster.node("n2").get("color") == "blue", timeout=3.0
+        )
+
+    def test_scalar_values_apply_as_identity(self, cluster):
+        leader = _elect(cluster)
+        leader.client_request(7)
+        for peer in leader.peers:
+            leader.replicate(peer)
+        assert _wait_until(lambda: leader.commit_index == 1)
+        assert leader.get(7) == 7
+
+    def test_follower_rejects_gap(self, cluster):
+        n2 = cluster.node("n2")
+        reply = n2.handle_append_entries_request({
+            "type": "AppendEntriesRequest", "term": 1, "prev_log_index": 2,
+            "prev_log_term": 1, "entries": [[1, "x"]], "commit_index": 0,
+            "src": "n1", "dst": "n2",
+        })
+        assert reply["success"] is False
+        assert n2.log == ()
+
+    def test_correct_truncation_of_conflicts(self, cluster):
+        n2 = cluster.node("n2")
+        n2.handle_append_entries_request({
+            "type": "AppendEntriesRequest", "term": 1, "prev_log_index": 0,
+            "prev_log_term": 0, "entries": [[1, "old"]], "commit_index": 0,
+            "src": "n3", "dst": "n2",
+        })
+        n2.handle_append_entries_request({
+            "type": "AppendEntriesRequest", "term": 2, "prev_log_index": 0,
+            "prev_log_term": 0, "entries": [[2, "new"]], "commit_index": 0,
+            "src": "n1", "dst": "n2",
+        })
+        assert n2.log == ((2, "new"),)
+
+    def test_buggy_append_piles_up(self):
+        config = RaftKvConfig(bug_append_no_truncate=True)
+        with make_raftkv_cluster(("n1", "n2", "n3"), config) as cluster:
+            n2 = cluster.node("n2")
+            n2.handle_append_entries_request({
+                "type": "AppendEntriesRequest", "term": 1, "prev_log_index": 0,
+                "prev_log_term": 0, "entries": [[1, "old"]], "commit_index": 0,
+                "src": "n3", "dst": "n2",
+            })
+            n2.handle_append_entries_request({
+                "type": "AppendEntriesRequest", "term": 2, "prev_log_index": 0,
+                "prev_log_term": 0, "entries": [[2, "new"]], "commit_index": 0,
+                "src": "n1", "dst": "n2",
+            })
+            assert n2.log == ((1, "old"), (2, "new"))  # the conflict survives
+
+
+class TestRpcPlumbing:
+    def test_rpc_to_dead_peer_times_out(self, cluster):
+        n1 = cluster.node("n1")
+        n1.RPC_TIMEOUT = 0.1
+        cluster.crash_node("n2")
+        n1.trigger_timeout()
+        start = time.monotonic()
+        n1.solicit_vote("n2")  # returns after the timeout, no crash
+        assert time.monotonic() - start < 2.0
+        assert n1.role is KvRole.CANDIDATE
+
+    def test_spec_msg_of_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            spec_msg_of({"type": "Nope"})
+
+    def test_persistence_across_restart(self, cluster):
+        leader = _elect(cluster)
+        leader.client_request("v")
+        node = cluster.restart_node("n1")
+        assert node.current_term == 1
+        assert node.log == ((1, "v"),)
+        assert node.role is KvRole.FOLLOWER

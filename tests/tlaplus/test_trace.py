@@ -1,0 +1,79 @@
+"""Tests for counterexample trace formatting."""
+
+from repro.tlaplus import (
+    Specification,
+    State,
+    check,
+    diff_states,
+    format_trace,
+    format_violation,
+)
+from repro.tlaplus.state import ActionLabel
+
+
+def _violating_spec():
+    spec = Specification("boom", constants={"Limit": 5})
+    spec.add_variable("n")
+    spec.add_variable("quiet")
+
+    @spec.init
+    def init(const):
+        return {"n": 0, "quiet": "yes"}
+
+    @spec.action()
+    def Incr(state, const):
+        if state.n >= const["Limit"]:
+            return None
+        return {"n": state.n + 1}
+
+    @spec.invariant()
+    def Small(state, const):
+        return state.n < 2
+
+    return spec
+
+
+class TestDiffStates:
+    def test_initial_diff_is_full_state(self):
+        state = State({"a": 1, "b": 2})
+        assert diff_states(None, state) == {"a": 1, "b": 2}
+
+    def test_only_changes_reported(self):
+        before = State({"a": 1, "b": 2})
+        after = State({"a": 1, "b": 3})
+        assert diff_states(before, after) == {"b": 3}
+
+    def test_no_change_is_empty(self):
+        state = State({"a": 1})
+        assert diff_states(state, State({"a": 1})) == {}
+
+
+class TestFormatTrace:
+    def test_numbered_steps_with_actions(self):
+        result = check(_violating_spec())
+        text = format_trace(result.violation.trace)
+        assert "State 1: Initial state" in text
+        assert "State 2: Incr()" in text
+        assert "State 3: Incr()" in text
+
+    def test_initial_state_printed_in_full(self):
+        result = check(_violating_spec())
+        text = format_trace(result.violation.trace)
+        assert "/\\ quiet = 'yes'" in text
+
+    def test_later_steps_show_only_changes(self):
+        result = check(_violating_spec())
+        text = format_trace(result.violation.trace)
+        # 'quiet' never changes, so it appears exactly once (initial state)
+        assert text.count("quiet") == 1
+
+    def test_full_states_mode(self):
+        result = check(_violating_spec())
+        text = format_trace(result.violation.trace, full_states=True)
+        assert text.count("quiet") == 3
+
+    def test_format_violation_headline(self):
+        result = check(_violating_spec())
+        text = format_violation(result.violation)
+        assert text.startswith("Invariant Small is violated.")
+        assert "State 3" in text

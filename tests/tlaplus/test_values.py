@@ -1,0 +1,176 @@
+"""Unit and property tests for immutable values and bag algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tlaplus.values import (
+    EMPTY_BAG,
+    FrozenDict,
+    bag_add,
+    bag_contains,
+    bag_count,
+    bag_from_iterable,
+    bag_items,
+    bag_remove,
+    bag_size,
+    freeze,
+    is_bag,
+    thaw,
+)
+
+
+class TestFrozenDict:
+    def test_mapping_interface(self):
+        fd = FrozenDict({"a": 1, "b": 2})
+        assert fd["a"] == 1
+        assert len(fd) == 2
+        assert set(fd) == {"a", "b"}
+        assert "a" in fd
+        assert fd.get("c", 9) == 9
+
+    def test_is_hashable_and_order_insensitive(self):
+        assert hash(FrozenDict(a=1, b=2)) == hash(FrozenDict(b=2, a=1))
+        assert FrozenDict(a=1, b=2) == FrozenDict(b=2, a=1)
+
+    def test_equals_plain_dict(self):
+        assert FrozenDict(a=1) == {"a": 1}
+        assert FrozenDict(a=1) != {"a": 2}
+
+    def test_set_returns_new_instance(self):
+        fd = FrozenDict(a=1)
+        fd2 = fd.set("b", 2)
+        assert fd == {"a": 1}
+        assert fd2 == {"a": 1, "b": 2}
+
+    def test_set_freezes_value(self):
+        fd = FrozenDict().set("k", {"x": [1, 2]})
+        assert isinstance(fd["k"], FrozenDict)
+        assert fd["k"]["x"] == (1, 2)
+
+    def test_update_many(self):
+        fd = FrozenDict(a=1, b=2).update({"b": 3, "c": 4})
+        assert fd == {"a": 1, "b": 3, "c": 4}
+
+    def test_remove(self):
+        fd = FrozenDict(a=1, b=2)
+        assert fd.remove("a") == {"b": 2}
+        assert fd.remove("missing") is fd
+
+    def test_apply(self):
+        fd = FrozenDict(n=1).apply("n", lambda v: v + 1)
+        assert fd["n"] == 2
+
+    def test_apply_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FrozenDict().apply("n", lambda v: v)
+
+    def test_mutation_is_impossible(self):
+        fd = FrozenDict(a=1)
+        with pytest.raises(TypeError):
+            fd["a"] = 2  # type: ignore[index]
+
+    def test_repr_is_sorted_and_stable(self):
+        assert repr(FrozenDict(b=2, a=1)) == repr(FrozenDict(a=1, b=2))
+
+
+class TestFreezeThaw:
+    def test_freeze_dict(self):
+        frozen = freeze({"a": [1, {2}]})
+        assert isinstance(frozen, FrozenDict)
+        assert frozen["a"] == (1, frozenset({2}))
+
+    def test_freeze_idempotent(self):
+        value = freeze({"a": [1, 2]})
+        assert freeze(value) is value
+
+    def test_freeze_unhashable_leaf_raises(self):
+        class Unhashable:
+            __hash__ = None
+
+        with pytest.raises(TypeError):
+            freeze(Unhashable())
+
+    def test_thaw_inverse(self):
+        original = {"a": [1, 2], "b": {"c": {3}}}
+        assert thaw(freeze(original)) == original
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.text(max_size=5), st.booleans(), st.none()),
+            lambda children: st.one_of(
+                st.lists(children, max_size=3),
+                st.dictionaries(st.text(max_size=3), children, max_size=3),
+            ),
+            max_leaves=10,
+        )
+    )
+    def test_property_thaw_freeze_roundtrip(self, value):
+        assert thaw(freeze(value)) == value
+
+    @given(st.dictionaries(st.text(max_size=4), st.integers(), max_size=5))
+    def test_property_frozen_dicts_hash_consistently(self, data):
+        a, b = freeze(data), freeze(dict(reversed(list(data.items()))))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestBags:
+    def test_empty_bag(self):
+        assert bag_size(EMPTY_BAG) == 0
+        assert is_bag(EMPTY_BAG)
+
+    def test_add_and_count(self):
+        bag = bag_add(bag_add(EMPTY_BAG, "m"), "m")
+        assert bag_count(bag, "m") == 2
+        assert bag_size(bag) == 2
+        assert bag_contains(bag, "m")
+
+    def test_remove_decrements(self):
+        bag = bag_add(EMPTY_BAG, "m", count=2)
+        bag = bag_remove(bag, "m")
+        assert bag_count(bag, "m") == 1
+
+    def test_remove_last_copy_drops_key(self):
+        bag = bag_remove(bag_add(EMPTY_BAG, "m"), "m")
+        assert bag == EMPTY_BAG
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            bag_remove(EMPTY_BAG, "m")
+
+    def test_add_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            bag_add(EMPTY_BAG, "m", count=0)
+        with pytest.raises(ValueError):
+            bag_remove(bag_add(EMPTY_BAG, "m"), "m", count=0)
+
+    def test_bag_elements_are_frozen(self):
+        bag = bag_add(EMPTY_BAG, {"type": "vote"})
+        assert bag_contains(bag, {"type": "vote"})
+
+    def test_bag_items_respects_multiplicity(self):
+        bag = bag_add(bag_add(EMPTY_BAG, "a", count=2), "b")
+        assert sorted(bag_items(bag)) == ["a", "a", "b"]
+
+    def test_bag_from_iterable(self):
+        bag = bag_from_iterable(["x", "x", "y"])
+        assert bag_count(bag, "x") == 2
+        assert bag_count(bag, "y") == 1
+
+    def test_is_bag_rejects_bad_counts(self):
+        assert not is_bag(FrozenDict({"m": 0}))
+        assert not is_bag(FrozenDict({"m": "two"}))
+        assert not is_bag("not a dict")
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=20))
+    def test_property_bag_size_matches_list_length(self, elements):
+        assert bag_size(bag_from_iterable(elements)) == len(elements)
+
+    @given(
+        st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=10),
+        st.sampled_from(["a", "b"]),
+    )
+    def test_property_add_then_remove_is_identity(self, elements, extra):
+        bag = bag_from_iterable(elements)
+        assert bag_remove(bag_add(bag, extra), extra) == bag
