@@ -7,7 +7,13 @@ Subcommands mirror the pipeline stages:
 * ``mocket testgen MODEL`` — generate test cases (EC / EC+POR stats),
 * ``mocket test TARGET``   — controlled testing of a system under test
   against its model, with optional seeded bugs,
-* ``mocket bugs``          — replay all nine Table 2 bug scenarios.
+* ``mocket bugs``          — replay all nine Table 2 bug scenarios,
+* ``mocket trace summarize FILE`` — reload a JSONL trace and print the
+  reconstructed per-case timelines.
+
+``check``, ``testgen`` and ``test`` all take ``--trace FILE`` (write a
+JSONL trace of the run) and ``--metrics`` (print the metrics table at
+the end); see docs/OBSERVABILITY.md.
 
 Models: ``example``, ``xraft``, ``raftkv``, ``zab``.
 Targets: ``toycache``, ``pyxraft``, ``raftkv``, ``minizk``.
@@ -21,6 +27,7 @@ import time
 from typing import Optional
 
 from .core import ControlledTester, RunnerConfig, generate_test_cases
+from .obs import METRICS, TRACER, TraceReader
 from .tlaplus import check, write_dot
 
 __all__ = ["main"]
@@ -114,56 +121,112 @@ def _target_kit(name: str, bugs):
     raise SystemExit(f"unknown target {name!r} (toycache|pyxraft|raftkv|minizk)")
 
 
+def _obs_begin(args) -> bool:
+    """Arm tracing/metrics for a command run; returns whether armed."""
+    wanted = bool(getattr(args, "trace", None) or getattr(args, "metrics", False))
+    if wanted:
+        TRACER.reset()
+        METRICS.reset()
+        TRACER.configure(enabled=True, sink=getattr(args, "trace", None))
+    return wanted
+
+
+def _obs_end(args) -> None:
+    """Tear down tracing, print the metrics table / trace location."""
+    TRACER.disable()
+    if getattr(args, "metrics", False):
+        print("-- metrics " + "-" * 48)
+        print(METRICS.render())
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace} "
+              f"({TRACER.emitted} records, {TRACER.dropped} dropped "
+              f"from the ring buffer)")
+
+
+def _with_obs(args, command) -> int:
+    if not _obs_begin(args):
+        return command()
+    try:
+        return command()
+    finally:
+        _obs_end(args)
+
+
 def _cmd_check(args) -> int:
-    spec = _build_model(args.model)
-    result = check(spec, max_states=args.max_states, truncate=True)
-    print(result.summary())
-    if args.dot:
-        write_dot(result.graph, args.dot)
-        print(f"state-space graph written to {args.dot}")
-    return 0 if result.ok else 1
+    def command() -> int:
+        spec = _build_model(args.model)
+        result = check(spec, max_states=args.max_states, truncate=True)
+        print(result.summary())
+        if args.dot:
+            write_dot(result.graph, args.dot)
+            print(f"state-space graph written to {args.dot}")
+        return 0 if result.ok else 1
+
+    return _with_obs(args, command)
 
 
 def _cmd_testgen(args) -> int:
-    spec = _build_model(args.model)
-    graph = check(spec, max_states=args.max_states, truncate=True).graph
-    suite_ec = generate_test_cases(graph, por=False)
-    suite_por = generate_test_cases(graph, por=True, seed=args.seed)
-    print(f"model: {graph.num_states} states, {graph.num_edges} edges")
-    print(f"PathEC:     {len(suite_ec)} cases, {suite_ec.total_actions()} actions")
-    print(f"PathEC+POR: {len(suite_por)} cases, {suite_por.total_actions()} actions "
-          f"({suite_por.excluded_edges} edges dropped)")
-    if args.show:
-        for case in list(suite_por)[: args.show]:
-            print(f"  #{case.case_id}: {case.describe()}")
-    if args.out:
-        suite_por.save(args.out)
-        print(f"EC+POR suite written to {args.out}")
-    return 0
+    def command() -> int:
+        spec = _build_model(args.model)
+        graph = check(spec, max_states=args.max_states, truncate=True).graph
+        suite_ec = generate_test_cases(graph, por=False)
+        suite_por = generate_test_cases(graph, por=True, seed=args.seed)
+        print(f"model: {graph.num_states} states, {graph.num_edges} edges")
+        print(f"PathEC:     {len(suite_ec)} cases, "
+              f"{suite_ec.total_actions()} actions")
+        print(f"PathEC+POR: {len(suite_por)} cases, "
+              f"{suite_por.total_actions()} actions "
+              f"({suite_por.excluded_edges} edges dropped)")
+        if args.show:
+            for case in list(suite_por)[: args.show]:
+                print(f"  #{case.case_id}: {case.describe()}")
+        if args.out:
+            suite_por.save(args.out)
+            print(f"EC+POR suite written to {args.out}")
+        return 0
+
+    return _with_obs(args, command)
 
 
 def _cmd_test(args) -> int:
-    spec, mapping, cluster_factory = _target_kit(args.target, args.bug)
-    graph = check(spec, max_states=args.max_states, truncate=True).graph
-    if args.suite:
-        from .core.testgen import TestSuite
+    target = args.target or args.system
+    if target is None:
+        raise SystemExit("test: name a target (positional or --system)")
 
-        suite = TestSuite.load(args.suite)
-    else:
-        suite = generate_test_cases(graph, por=not args.no_por, seed=args.seed)
-    tester = ControlledTester(mapping, graph, cluster_factory, _RUNNER)
-    print(f"running up to {args.cases or len(suite)} of {len(suite)} cases "
-          f"against {args.target} "
-          f"({'buggy: ' + ','.join(args.bug) if args.bug else 'correct'})")
-    started = time.monotonic()
-    outcome = tester.run_suite(suite, stop_on_divergence=args.stop_on_bug,
-                               max_cases=args.cases)
-    elapsed = time.monotonic() - started
-    print(f"{outcome.summary()} ({elapsed:.1f}s wall clock)")
-    for failing in outcome.failures[:5]:
-        print(f"  case #{failing.case.case_id}: {failing.divergence.headline()}")
-        print(f"    schedule: {failing.case.describe()[:160]}")
-    return 0 if outcome.passed else 1
+    def command() -> int:
+        spec, mapping, cluster_factory = _target_kit(target, args.bug)
+        graph = check(spec, max_states=args.max_states, truncate=True).graph
+        if args.suite:
+            from .core.testgen import TestSuite
+
+            suite = TestSuite.load(args.suite)
+        else:
+            suite = generate_test_cases(graph, por=not args.no_por,
+                                        seed=args.seed)
+        tester = ControlledTester(mapping, graph, cluster_factory, _RUNNER)
+        print(f"running up to {args.cases or len(suite)} of {len(suite)} cases "
+              f"against {target} "
+              f"({'buggy: ' + ','.join(args.bug) if args.bug else 'correct'})")
+        started = time.monotonic()
+        outcome = tester.run_suite(suite, stop_on_divergence=args.stop_on_bug,
+                                   max_cases=args.cases)
+        elapsed = time.monotonic() - started
+        print(f"{outcome.summary()} ({elapsed:.1f}s wall clock)")
+        for failing in outcome.failures[:5]:
+            print(f"  case #{failing.case.case_id}: "
+                  f"{failing.divergence.headline()}")
+            print(f"    schedule: {failing.case.describe()[:160]}")
+        return 0 if outcome.passed else 1
+
+    return _with_obs(args, command)
+
+
+def _cmd_trace(args) -> int:
+    if args.trace_command == "summarize":
+        reader = TraceReader.from_file(args.file)
+        print(reader.summarize(max_cases=args.cases))
+        return 0
+    raise SystemExit(f"unknown trace subcommand {args.trace_command!r}")
 
 
 def _cmd_bugs(args) -> int:
@@ -215,10 +278,17 @@ def main(argv: Optional[list] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(p) -> None:
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a JSONL trace of the run to FILE")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the metrics table after the run")
+
     p_check = sub.add_parser("check", help="model-check a built-in model")
     p_check.add_argument("model")
     p_check.add_argument("--max-states", type=int, default=100_000)
     p_check.add_argument("--dot", help="dump the state-space graph to this file")
+    add_obs_flags(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_gen = sub.add_parser("testgen", help="generate test cases from a model")
@@ -228,10 +298,13 @@ def main(argv: Optional[list] = None) -> int:
     p_gen.add_argument("--show", type=int, default=0,
                        help="print the first N generated cases")
     p_gen.add_argument("--out", help="save the EC+POR suite to a JSON file")
+    add_obs_flags(p_gen)
     p_gen.set_defaults(func=_cmd_testgen)
 
     p_test = sub.add_parser("test", help="controlled testing of a target")
-    p_test.add_argument("target")
+    p_test.add_argument("target", nargs="?", default=None)
+    p_test.add_argument("--system", default=None,
+                        help="the target system (alias for the positional)")
     p_test.add_argument("--bug", action="append", default=[],
                         help="seed a bug flag (repeatable)")
     p_test.add_argument("--cases", type=int, default=None)
@@ -240,10 +313,20 @@ def main(argv: Optional[list] = None) -> int:
     p_test.add_argument("--no-por", action="store_true")
     p_test.add_argument("--suite", help="run a suite saved by 'testgen --out'")
     p_test.add_argument("--stop-on-bug", action="store_true")
+    add_obs_flags(p_test)
     p_test.set_defaults(func=_cmd_test)
 
     p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")
     p_bugs.set_defaults(func=_cmd_bugs)
+
+    p_trace = sub.add_parser("trace", help="work with recorded JSONL traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize", help="reconstruct per-case timelines from a trace")
+    p_sum.add_argument("file")
+    p_sum.add_argument("--cases", type=int, default=None,
+                       help="show at most N case timelines")
+    p_sum.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

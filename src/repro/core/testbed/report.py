@@ -99,11 +99,14 @@ class TestCaseResult:
     __test__ = False  # not a pytest class, despite the name
 
     def __init__(self, case: TestCase, divergence: Optional[Divergence],
-                 executed_actions: int, elapsed_seconds: float):
+                 executed_actions: int, elapsed_seconds: float,
+                 phase_seconds: Optional[Dict[str, float]] = None):
         self.case = case
         self.divergence = divergence
         self.executed_actions = executed_actions
         self.elapsed_seconds = elapsed_seconds
+        # wall time per phase: deploy / steps / check / teardown
+        self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
 
     @property
     def passed(self) -> bool:
@@ -120,6 +123,8 @@ class TestCaseResult:
             "schedule": self.case.describe(),
             "actions_in_case": len(self.case),
             "executed_actions": self.executed_actions,
+            "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": dict(self.phase_seconds),
             "variables": [
                 {"variable": vd.variable, "expected": repr(vd.expected),
                  "actual": repr(vd.actual)}
@@ -154,6 +159,35 @@ class SuiteResult:
             if not result.passed:
                 return result.divergence
         return None
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Suite-wide wall time per phase, summed across cases."""
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            for phase, seconds in result.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return dict(sorted(totals.items()))
+
+    def divergence_counts(self) -> Dict[str, int]:
+        """``{DivergenceKind value: count}`` over the failing cases."""
+        counts: Dict[str, int] = {kind.value: 0 for kind in DivergenceKind}
+        for result in self.failures:
+            counts[result.divergence.kind.value] += 1
+        return counts
+
+    def bug_report(self) -> Dict[str, Any]:
+        """Suite-level JSON report with timing, so benchmark scripts can
+        read wall-clock and per-phase cost instead of re-measuring."""
+        return {
+            "cases": len(self.results),
+            "divergent": len(self.failures),
+            "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": self.phase_seconds,
+            "divergence_counts": self.divergence_counts(),
+            "case_elapsed_seconds": [r.elapsed_seconds for r in self.results],
+            "failures": [r.bug_report() for r in self.failures],
+        }
 
     def summary(self) -> str:
         return (

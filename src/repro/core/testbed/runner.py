@@ -24,6 +24,7 @@ import time
 from collections import Counter
 from typing import Callable, List, Optional
 
+from ...obs import METRICS, TRACER
 from ...runtime.cluster import Cluster
 from ...tlaplus.graph import StateGraph
 from ..mapping.kinds import FaultKind, TriggerKind
@@ -70,20 +71,47 @@ class ControlledTester:
     # -- suite ------------------------------------------------------------------
     def run_suite(self, suite: TestSuite, stop_on_divergence: bool = False,
                   max_cases: Optional[int] = None) -> SuiteResult:
-        started = time.monotonic()
-        results: List[TestCaseResult] = []
-        for case in suite:
-            if max_cases is not None and len(results) >= max_cases:
-                break
-            result = self.run_case(case)
-            results.append(result)
-            if stop_on_divergence and not result.passed:
-                break
-        return SuiteResult(results, time.monotonic() - started)
+        with TRACER.span("runner.suite", cases=len(suite)) as suite_span:
+            if TRACER.enabled:
+                # pre-register so the table always shows every kind, 0 included
+                for kind in DivergenceKind:
+                    METRICS.counter(f"divergence.{kind.value}")
+            started = time.monotonic()
+            results: List[TestCaseResult] = []
+            for case in suite:
+                if max_cases is not None and len(results) >= max_cases:
+                    break
+                result = self.run_case(case)
+                results.append(result)
+                if stop_on_divergence and not result.passed:
+                    break
+            outcome = SuiteResult(results, time.monotonic() - started)
+            suite_span.add(ran=len(results), divergent=len(outcome.failures))
+            return outcome
 
     # -- one case -----------------------------------------------------------------
     def run_case(self, case: TestCase) -> TestCaseResult:
+        with TRACER.span("runner.case", case=case.case_id,
+                         actions=len(case)) as case_span:
+            result = self._run_case(case)
+            if TRACER.enabled:
+                outcome = ("pass" if result.passed
+                           else result.divergence.kind.value)
+                case_span.add(outcome=outcome,
+                              executed=result.executed_actions)
+                METRICS.counter("runner.cases").inc()
+                if result.divergence is not None:
+                    METRICS.counter(
+                        f"divergence.{result.divergence.kind.value}").inc()
+                    TRACER.emit("runner.divergence", case=case.case_id,
+                                kind=result.divergence.kind.value,
+                                step=result.divergence.step_index,
+                                action=result.divergence.action)
+            return result
+
+    def _run_case(self, case: TestCase) -> TestCaseResult:
         started = time.monotonic()
+        phases = {"deploy": 0.0, "steps": 0.0, "check": 0.0, "teardown": 0.0}
         cluster = self.cluster_factory()
         runtime = MocketRuntime(self.mapping, cluster)
         runtime.attach()
@@ -92,6 +120,7 @@ class ControlledTester:
         divergence: Optional[Divergence] = None
         request_threads: List[threading.Thread] = []
         try:
+            phase_start = time.monotonic()
             cluster.deploy()
             runtime.snapshot_all()
             checker = StateChecker(self.mapping, cluster.node_ids,
@@ -99,29 +128,56 @@ class ControlledTester:
                                    cluster=cluster)
             # check the initial state before the first action (Section 4.3.1)
             initial = checker.compare(case.initial_state)
+            phases["deploy"] = time.monotonic() - phase_start
             if initial:
                 divergence = Divergence(DivergenceKind.INCONSISTENT_STATE, -1,
                                         variables=initial,
                                         detail="initial state mismatch")
             else:
+                phase_start = time.monotonic()
                 occurrences: Counter = Counter()
                 for index, step in enumerate(case.steps):
-                    divergence = self._execute_step(
-                        index, step, runtime, cluster, checker, occurrences,
-                        request_threads,
+                    divergence = self._traced_step(
+                        case, index, step, runtime, cluster, checker,
+                        occurrences, request_threads,
                     )
                     if divergence is not None:
                         break
                     executed += 1
+                phases["steps"] = time.monotonic() - phase_start
                 if divergence is None and self.config.check_unexpected:
+                    phase_start = time.monotonic()
                     divergence = self._end_of_case_check(case, runtime)
+                    phases["check"] = time.monotonic() - phase_start
         finally:
+            phase_start = time.monotonic()
             runtime.deactivate()
             cluster.shutdown()
             for thread in request_threads:
                 thread.join(timeout=1.0)
+            phases["teardown"] = time.monotonic() - phase_start
         return TestCaseResult(case, divergence, executed,
-                              time.monotonic() - started)
+                              time.monotonic() - started,
+                              phase_seconds=phases)
+
+    def _traced_step(self, case: TestCase, index: int, step: TestStep,
+                     runtime: MocketRuntime, cluster: Cluster,
+                     checker: StateChecker, occurrences: Counter,
+                     request_threads: List[threading.Thread]) -> Optional[Divergence]:
+        """One step wrapped in a ``runner.step`` span + wall-time metric."""
+        with TRACER.span("runner.step", case=case.case_id, step=index,
+                         action=step.label.name) as step_span:
+            step_start = time.monotonic()
+            divergence = self._execute_step(index, step, runtime, cluster,
+                                            checker, occurrences,
+                                            request_threads)
+            if TRACER.enabled:
+                step_span.add(outcome=("ok" if divergence is None
+                                       else divergence.kind.value))
+                METRICS.counter("runner.steps").inc()
+                METRICS.histogram("runner.step_seconds").observe(
+                    time.monotonic() - step_start)
+            return divergence
 
     # -- steps ----------------------------------------------------------------------
     def _execute_step(self, index: int, step: TestStep, runtime: MocketRuntime,
@@ -188,6 +244,11 @@ class ControlledTester:
     def _run_fault(self, index: int, step: TestStep, runtime: MocketRuntime,
                    cluster: Cluster, action: ActionMapping) -> Optional[Divergence]:
         kind = action.fault_kind
+        if TRACER.enabled:
+            TRACER.emit("fault.injected", action=step.label.name,
+                        kind=getattr(kind, "value", str(kind)), step=index,
+                        params=dict(step.label.params))
+            METRICS.counter("fault.injected").inc()
         if kind is FaultKind.CRASH:
             node_id = step.label.params[action.node_param]
             cluster.crash_node(node_id)

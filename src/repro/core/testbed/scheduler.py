@@ -14,6 +14,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from ...obs import METRICS, TRACER
 from ...tlaplus.state import ActionLabel
 from ...tlaplus.values import FrozenDict, freeze
 
@@ -26,7 +27,8 @@ class Notification:
     """One blocked action waiting to be scheduled."""
 
     __slots__ = ("node_id", "name", "params", "recv_msg", "msg_var",
-                 "enable_event", "done_event", "directive", "seq")
+                 "enable_event", "done_event", "directive", "seq",
+                 "submitted_at")
 
     def __init__(self, node_id: str, name: str, params: Dict[str, Any],
                  recv_msg: Optional[Any] = None, msg_var: Optional[str] = None):
@@ -39,6 +41,7 @@ class Notification:
         self.done_event = threading.Event()
         self.directive = "normal"   # set by the scheduler: normal | drop | abort
         self.seq = next(_seq)
+        self.submitted_at = 0.0     # set on submit; feeds the queue-wait timer
 
     def label(self) -> ActionLabel:
         return ActionLabel(self.name, dict(self.params))
@@ -64,6 +67,12 @@ class ActionScheduler:
 
     # -- hook side ------------------------------------------------------------
     def submit(self, notification: Notification) -> None:
+        notification.submitted_at = time.monotonic()
+        if TRACER.enabled:
+            TRACER.emit("scheduler.notification", name=notification.name,
+                        node=notification.node_id, seq=notification.seq,
+                        params=dict(notification.params))
+            METRICS.counter("scheduler.notifications").inc()
         with self._cond:
             self._pending.append(notification)
             self.notified_count += 1
@@ -84,6 +93,12 @@ class ActionScheduler:
                 for notification in self._pending:
                     if predicate(notification):
                         self._pending.remove(notification)
+                        if TRACER.enabled:
+                            METRICS.histogram(
+                                "scheduler.queue_wait_seconds"
+                            ).observe(
+                                time.monotonic() - notification.submitted_at
+                            )
                         return notification
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:

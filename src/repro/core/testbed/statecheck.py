@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from ...obs import METRICS, TRACER
 from ...tlaplus.spec import VarKind
 from ...tlaplus.state import State
 from ...tlaplus.values import FrozenDict
@@ -78,10 +79,19 @@ class StateChecker:
     # -- comparison -----------------------------------------------------------------
     def compare(self, expected: State) -> List[VariableDivergence]:
         """All variable divergences between runtime state and ``expected``."""
-        divergences: List[VariableDivergence] = []
-        divergences.extend(self._compare_state_variables(expected))
-        divergences.extend(self._compare_message_variables(expected))
-        return divergences
+        with TRACER.span("statecheck.compare") as compare_span:
+            divergences: List[VariableDivergence] = []
+            divergences.extend(self._compare_state_variables(expected))
+            divergences.extend(self._compare_message_variables(expected))
+            if TRACER.enabled:
+                METRICS.counter("statecheck.compares").inc()
+                if divergences:
+                    METRICS.counter("statecheck.mismatches").inc(len(divergences))
+                compare_span.add(
+                    mismatches=len(divergences),
+                    variables=[d.variable for d in divergences],
+                )
+            return divergences
 
     def _compare_state_variables(self, expected: State) -> List[VariableDivergence]:
         out: List[VariableDivergence] = []

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Set, Tuple
 
+from ...obs import METRICS, TRACER
 from ...tlaplus.graph import Edge, StateGraph
 
 __all__ = ["Diamond", "find_diamonds", "por_excluded_edges"]
@@ -96,35 +97,46 @@ def por_excluded_edges(graph: StateGraph, seed: int = 0) -> Set[Edge]:
     remains fully traversable.
     """
     rng = random.Random(seed)
-    excluded: Set[Tuple] = set()
-    kept: Set[Tuple] = set()
-    result: Set[Edge] = set()
-    for diamond in find_diamonds(graph):
-        option_a = diamond.second_a  # drop candidate if order B is kept
-        option_b = diamond.second_b
-        a_key, b_key = option_a.key(), option_b.key()
-        if a_key in excluded and b_key in excluded:
-            continue  # both orders already dropped by earlier diamonds
-        if a_key in excluded:
-            choice = option_b  # order A already dead; keep order B
-            drop = None
-        elif b_key in excluded:
-            choice = option_a
-            drop = None
-        elif a_key in kept and b_key in kept:
-            continue  # both orders pinned by earlier diamonds; drop neither
-        elif a_key in kept:
-            drop = option_b
-        elif b_key in kept:
-            drop = option_a
-        else:
-            drop = option_a if rng.random() < 0.5 else option_b
-        if drop is not None and drop.key() not in kept:
-            excluded.add(drop.key())
-            result.add(drop)
-            keep = option_b if drop is option_a else option_a
-            kept.add(keep.key())
-    return result
+    with TRACER.span("por.reduce", spec=graph.spec_name, seed=seed) as por_span:
+        excluded: Set[Tuple] = set()
+        kept: Set[Tuple] = set()
+        result: Set[Edge] = set()
+        diamonds = find_diamonds(graph)
+        for diamond in diamonds:
+            option_a = diamond.second_a  # drop candidate if order B is kept
+            option_b = diamond.second_b
+            a_key, b_key = option_a.key(), option_b.key()
+            if a_key in excluded and b_key in excluded:
+                continue  # both orders already dropped by earlier diamonds
+            if a_key in excluded:
+                choice = option_b  # order A already dead; keep order B
+                drop = None
+            elif b_key in excluded:
+                choice = option_a
+                drop = None
+            elif a_key in kept and b_key in kept:
+                continue  # both orders pinned by earlier diamonds; drop neither
+            elif a_key in kept:
+                drop = option_b
+            elif b_key in kept:
+                drop = option_a
+            else:
+                drop = option_a if rng.random() < 0.5 else option_b
+            if drop is not None and drop.key() not in kept:
+                excluded.add(drop.key())
+                result.add(drop)
+                keep = option_b if drop is option_a else option_a
+                kept.add(keep.key())
+                if TRACER.enabled:
+                    TRACER.emit("por.pruned", origin=diamond.origin,
+                                src=drop.src, dst=drop.dst,
+                                label=repr(drop.label),
+                                kept=repr(keep.label))
+        if TRACER.enabled:
+            METRICS.counter("por.pruned_edges").inc(len(result))
+            METRICS.set_gauge("por.diamonds", len(diamonds))
+            por_span.add(diamonds=len(diamonds), pruned=len(result))
+        return result
 
 
 def diamond_stats(graph: StateGraph) -> Dict[str, int]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ...obs import TRACER
 from ...tlaplus.graph import Edge, StateGraph
 
 __all__ = ["TraversalResult", "edge_coverage_paths"]
@@ -61,21 +62,25 @@ def edge_coverage_paths(
     ``max_paths`` — optional cap for very large graphs (the paper bounds
     testing wall-clock instead; a cap keeps benches tractable).
     """
-    ends: Set[int] = set(end_state_ids or ())
-    excluded: Set[Tuple] = {edge.key() for edge in (excluded_edges or ())}
-    targets: Set[Tuple] = {
-        edge.key() for edge in graph.edges() if edge.key() not in excluded
-    }
+    with TRACER.span("testgen.traversal", spec=graph.spec_name) as walk_span:
+        ends: Set[int] = set(end_state_ids or ())
+        excluded: Set[Tuple] = {edge.key() for edge in (excluded_edges or ())}
+        targets: Set[Tuple] = {
+            edge.key() for edge in graph.edges() if edge.key() not in excluded
+        }
 
-    visited: Set[Tuple] = set()
-    paths: List[List[Edge]] = []
+        visited: Set[Tuple] = set()
+        paths: List[List[Edge]] = []
 
-    for init_id in graph.initial_ids:
-        if max_paths is not None and len(paths) >= max_paths:
-            break
-        _traverse_from(graph, init_id, ends, excluded, visited, paths, max_paths)
+        for init_id in graph.initial_ids:
+            if max_paths is not None and len(paths) >= max_paths:
+                break
+            _traverse_from(graph, init_id, ends, excluded, visited, paths,
+                           max_paths)
 
-    return TraversalResult(paths=paths, targets=targets, covered=visited)
+        walk_span.add(paths=len(paths), targets=len(targets),
+                      covered=len(visited))
+        return TraversalResult(paths=paths, targets=targets, covered=visited)
 
 
 class _Frame:

@@ -1,0 +1,58 @@
+"""Observability: structured tracing, metrics and trace reloading.
+
+Zero-dependency instrumentation substrate threaded through every layer
+of the pipeline (checker, testgen, POR, scheduler, state checker,
+runner).  Three pillars:
+
+* :mod:`repro.obs.tracer` — a process-wide :class:`Tracer` emitting
+  typed, monotonically-timestamped event/span records to an in-memory
+  ring buffer and optionally a JSONL sink.  Disabled by default with a
+  no-op fast path, so the hot paths of the checker cost nothing extra
+  when nobody is watching.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  histogram timers (states/sec, frontier size, edge-coverage %, queue
+  wait, per-step wall time, divergence counts), snapshotable as a dict
+  and renderable as a text table.
+* :mod:`repro.obs.reader` — :class:`TraceReader` reloads a JSONL trace
+  and reconstructs the per-case action timeline (the input a
+  flaky-divergence replayer needs).
+
+Instrumented call sites guard on ``TRACER.enabled`` (a plain attribute
+load) so the disabled path stays under a microsecond per call.
+"""
+
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .reader import CaseTimeline, StepRecord, TraceReader
+from .tracer import (
+    NULL_SPAN,
+    TRACER,
+    TraceEvent,
+    Tracer,
+    configure,
+    disable,
+    emit,
+    is_enabled,
+    reset,
+    span,
+)
+
+__all__ = [
+    "CaseTimeline",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "StepRecord",
+    "TRACER",
+    "TraceEvent",
+    "TraceReader",
+    "Tracer",
+    "configure",
+    "disable",
+    "emit",
+    "is_enabled",
+    "reset",
+    "span",
+]

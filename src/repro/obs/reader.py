@@ -1,0 +1,179 @@
+"""Reload a JSONL trace and reconstruct per-case action timelines.
+
+The runner emits one ``runner.case`` span per test case and one
+``runner.step`` span per executed action, each carrying the case id,
+step index, action name and outcome.  :class:`TraceReader` groups those
+records back into :class:`CaseTimeline` objects — the structured input
+a divergence replayer (or a human) needs to see what actually ran, in
+what order, and how long each step took.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .tracer import TraceEvent
+
+__all__ = ["StepRecord", "CaseTimeline", "TraceReader"]
+
+
+class StepRecord:
+    """One executed action inside a case timeline."""
+
+    __slots__ = ("index", "action", "ts", "dur", "outcome")
+
+    def __init__(self, index: int, action: str, ts: float,
+                 dur: Optional[float], outcome: str):
+        self.index = index
+        self.action = action
+        self.ts = ts
+        self.dur = dur
+        self.outcome = outcome      # "ok" or a DivergenceKind value
+
+    def __repr__(self) -> str:
+        dur = f"{self.dur:.6f}s" if self.dur is not None else "?"
+        return f"StepRecord(#{self.index} {self.action} {dur} {self.outcome})"
+
+
+class CaseTimeline:
+    """The reconstructed timeline of one test case."""
+
+    def __init__(self, case_id: int):
+        self.case_id = case_id
+        self.steps: List[StepRecord] = []
+        self.outcome: str = "unknown"   # "pass" or a DivergenceKind value
+        self.ts: Optional[float] = None
+        self.dur: Optional[float] = None
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+    @property
+    def passed(self) -> bool:
+        return self.outcome == "pass"
+
+    def describe(self) -> str:
+        actions = " -> ".join(step.action for step in self.steps) or "(no steps)"
+        return f"#{self.case_id}: {actions} [{self.outcome}]"
+
+    def __repr__(self) -> str:
+        return (f"CaseTimeline(#{self.case_id}, {self.step_count} steps, "
+                f"{self.outcome})")
+
+
+class TraceReader:
+    """Parsed trace plus timeline reconstruction and summaries."""
+
+    def __init__(self, events: Iterable[TraceEvent]):
+        self.events: List[TraceEvent] = sorted(events, key=lambda e: e.seq)
+
+    @classmethod
+    def from_file(cls, path: str) -> "TraceReader":
+        """Load a JSONL trace written by the tracer's sink."""
+        events = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}:{line_no}: not a JSONL trace record: {exc}"
+                    ) from exc
+                events.append(TraceEvent.from_dict(record))
+        return cls(events)
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_name(self, name: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def names(self) -> Dict[str, int]:
+        """Record count per event name (sorted for determinism)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def duration(self) -> float:
+        """Wall-clock distance between the first and last record."""
+        if not self.events:
+            return 0.0
+        start = min(event.ts for event in self.events)
+        end = max(event.ts + (event.dur or 0.0) for event in self.events)
+        return end - start
+
+    # -- reconstruction -------------------------------------------------------
+    def case_timelines(self) -> Dict[int, CaseTimeline]:
+        """Rebuild per-case action timelines from runner spans.
+
+        Returns ``{case_id: CaseTimeline}`` in first-seen order.  Step
+        records are ordered by step index; a case whose ``runner.case``
+        span never appeared (trace truncated mid-case) still gets a
+        timeline, with outcome ``"unknown"``.
+        """
+        timelines: Dict[int, CaseTimeline] = {}
+
+        def timeline(case_id: int) -> CaseTimeline:
+            if case_id not in timelines:
+                timelines[case_id] = CaseTimeline(case_id)
+            return timelines[case_id]
+
+        for event in self.events:
+            fields = event.fields
+            if event.name == "runner.step" and "case" in fields:
+                timeline(fields["case"]).steps.append(StepRecord(
+                    index=fields.get("step", -1),
+                    action=fields.get("action", "?"),
+                    ts=event.ts,
+                    dur=event.dur,
+                    outcome=fields.get("outcome", "ok"),
+                ))
+            elif event.name == "runner.case" and "case" in fields:
+                line = timeline(fields["case"])
+                line.outcome = fields.get("outcome", "unknown")
+                line.ts = event.ts
+                line.dur = event.dur
+        for line in timelines.values():
+            line.steps.sort(key=lambda step: (step.index, step.ts))
+        return timelines
+
+    # -- human output ---------------------------------------------------------
+    def summarize(self, max_cases: Optional[int] = None) -> str:
+        """A text report: totals, per-name counts, per-case timelines."""
+        lines: List[str] = [
+            f"trace: {len(self.events)} records over {self.duration():.3f}s"
+        ]
+        counts = self.names()
+        if counts:
+            lines.append("records by name:")
+            width = max(len(name) for name in counts)
+            for name, count in counts.items():
+                lines.append(f"  {name.ljust(width)}  {count}")
+        timelines = self.case_timelines()
+        if timelines:
+            divergent = sum(1 for line in timelines.values() if not line.passed)
+            lines.append(f"cases: {len(timelines)} ({divergent} divergent)")
+            shown = list(timelines.values())
+            if max_cases is not None:
+                shown = shown[:max_cases]
+            for line in shown:
+                dur = f", {line.dur:.3f}s" if line.dur is not None else ""
+                lines.append(f"  case #{line.case_id}: {line.step_count} steps, "
+                             f"{line.outcome}{dur}")
+                for step in line.steps:
+                    dur = f"{step.dur:.6f}s" if step.dur is not None else "?"
+                    lines.append(f"    [{step.index}] {step.action}  {dur}  "
+                                 f"{step.outcome}")
+            if max_cases is not None and len(timelines) > max_cases:
+                lines.append(f"  ... {len(timelines) - max_cases} more cases")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TraceReader({len(self.events)} records)"

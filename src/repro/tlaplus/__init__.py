@@ -7,7 +7,14 @@ reachable state space, checks invariants and produces the state-space
 graph (with DOT round-trip) that the Mocket core consumes.
 """
 
-from .checker import CheckResult, ModelChecker, SimulationResult, check, simulate
+from .checker import (
+    CheckResult,
+    ModelChecker,
+    SimulationResult,
+    TruncatedExplorationWarning,
+    check,
+    simulate,
+)
 from .dot import parse_dot, read_dot, to_dot, write_dot
 from .errors import (
     ActionError,
@@ -63,6 +70,7 @@ __all__ = [
     "State",
     "StateGraph",
     "TlaError",
+    "TruncatedExplorationWarning",
     "VarKind",
     "VariableDecl",
     "bag_add",

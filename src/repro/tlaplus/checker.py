@@ -17,15 +17,23 @@ needs downstream.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
 from typing import Dict, List, Optional
 
+from ..obs import METRICS, TRACER
 from .errors import CheckingBudgetExceeded, InvariantViolation
 from .graph import StateGraph
 from .spec import Specification
 from .state import ActionLabel, State
 
-__all__ = ["CheckResult", "ModelChecker", "check"]
+__all__ = ["CheckResult", "ModelChecker", "TruncatedExplorationWarning", "check"]
+
+
+class TruncatedExplorationWarning(UserWarning):
+    """A query only meaningful on a complete exploration ran on a
+    truncated one (e.g. :meth:`CheckResult.deadlocks` after hitting the
+    state budget)."""
 
 
 class CheckResult:
@@ -53,12 +61,25 @@ class CheckResult:
     def ok(self) -> bool:
         return self.violation is None
 
-    def deadlocks(self) -> List[int]:
+    def deadlocks(self, strict: bool = False) -> List[int]:
         """States with no enabled action (TLC's deadlock check).
 
-        Only meaningful on a complete exploration; a truncated run may
-        report frontier states whose successors were never expanded.
+        Only meaningful on a complete exploration: a truncated run
+        contains frontier states whose successors were never expanded,
+        which look terminal without being deadlocks.  Calling this on a
+        truncated result warns (:class:`TruncatedExplorationWarning`) —
+        or raises ``ValueError`` with ``strict=True`` — instead of
+        silently returning misleading states.
         """
+        if not self.complete:
+            message = (
+                f"deadlocks() on a truncated exploration of "
+                f"{self.graph.spec_name!r}: unexpanded frontier states "
+                f"look terminal; re-check with a larger state budget"
+            )
+            if strict:
+                raise ValueError(message)
+            warnings.warn(message, TruncatedExplorationWarning, stacklevel=2)
         return self.graph.terminal_ids()
 
     def summary(self) -> str:
@@ -93,7 +114,20 @@ class ModelChecker:
         self.stop_on_violation = stop_on_violation
 
     def run(self) -> CheckResult:
+        with TRACER.span("checker.run", spec=self.spec.name,
+                         max_states=self.max_states) as checker_span:
+            result = self._run()
+            checker_span.add(states=result.states_explored,
+                             edges=result.edges_explored,
+                             complete=result.complete,
+                             ok=result.ok)
+            return result
+
+    def _run(self) -> CheckResult:
         start = time.monotonic()
+        # hot path: sample the flag once; a run is all-or-nothing traced
+        tracing = TRACER.enabled
+        level = 0
         graph = StateGraph(self.spec.name)
         # parent pointers for counterexample traces: node -> (pred, label)
         parents: Dict[int, Optional[tuple]] = {}
@@ -116,6 +150,13 @@ class ModelChecker:
         edges_explored = 0
         while frontier:
             node_id = frontier.popleft()
+            if tracing and depth[node_id] > level:
+                # BFS pops in nondecreasing depth order: a new level starts
+                level = depth[node_id]
+                TRACER.emit("checker.bfs_level", level=level,
+                            frontier=len(frontier) + 1,
+                            states=graph.num_states, edges=edges_explored)
+                METRICS.gauge("checker.frontier_peak").max(len(frontier) + 1)
             state = graph.state_of(node_id)
             for label, successor in self.spec.enabled(state):
                 edges_explored += 1
@@ -170,6 +211,14 @@ class ModelChecker:
     def _finish(self, graph, start, complete, depth, violation) -> CheckResult:
         elapsed = time.monotonic() - start
         diameter = max(depth.values()) if depth else 0
+        if TRACER.enabled:
+            METRICS.set_gauge("checker.states", graph.num_states)
+            METRICS.set_gauge("checker.edges", graph.num_edges)
+            METRICS.set_gauge("checker.diameter", diameter)
+            METRICS.set_gauge(
+                "checker.states_per_sec",
+                graph.num_states / elapsed if elapsed > 0 else float(graph.num_states),
+            )
         return CheckResult(
             graph=graph,
             states_explored=graph.num_states,

@@ -1,8 +1,20 @@
 """Tests for the ``mocket`` command line."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import METRICS, TRACER, TraceReader
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    TRACER.reset()
+    METRICS.reset()
+    yield
+    TRACER.reset()
+    METRICS.reset()
 
 
 class TestCheck:
@@ -54,6 +66,78 @@ class TestControlledTest:
 
     def test_no_por_flag(self, capsys):
         assert main(["test", "toycache", "--no-por", "--cases", "2"]) == 0
+
+
+class TestObservabilityFlags:
+    def test_check_metrics_table(self, capsys):
+        assert main(["check", "example", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics" in out
+        assert "checker.states          13" in out
+        assert "checker.states_per_sec" in out
+
+    def test_check_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "check.jsonl"
+        assert main(["check", "example", "--trace", str(trace)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in trace.read_text().strip().splitlines()]
+        names = {record["name"] for record in records}
+        assert "checker.run" in names and "checker.bfs_level" in names
+
+    def test_obs_disabled_after_command(self, tmp_path):
+        main(["check", "example", "--trace", str(tmp_path / "t.jsonl")])
+        assert not TRACER.enabled
+
+    def test_testgen_metrics(self, capsys):
+        assert main(["testgen", "example", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "testgen.edge_coverage_pct" in out
+
+    def test_test_trace_and_metrics_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["test", "toycache", "--trace", str(trace),
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "0 divergent" in out
+        assert "divergence.missing_action" in out    # pre-registered at 0
+        assert "runner.step_seconds" in out
+        timelines = TraceReader.from_file(str(trace)).case_timelines()
+        assert len(timelines) == 4
+        for line in timelines.values():
+            assert line.passed and line.step_count > 0
+
+    def test_system_flag_is_a_target_alias(self, capsys):
+        assert main(["test", "--system", "toycache", "--cases", "1"]) == 0
+        assert "toycache" in capsys.readouterr().out
+
+    def test_test_without_target_exits(self):
+        with pytest.raises(SystemExit, match="name a target"):
+            main(["test"])
+
+
+class TestTraceSummarize:
+    def test_summarize_reconstructs_cases(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["test", "toycache", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "records by name:" in out
+        assert "cases: 4 (0 divergent)" in out
+        assert "case #0:" in out
+
+    def test_summarize_cases_cap(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(["test", "toycache", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace), "--cases", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "case #0:" in out and "case #1:" not in out
+
+    def test_summarize_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            main(["trace", "summarize", "/nonexistent/trace.jsonl"])
 
 
 class TestBugsCommand:

@@ -1,0 +1,15 @@
+"""Shared fixtures: every obs test leaves the global tracer/metrics
+exactly as it found them (disabled and empty)."""
+
+import pytest
+
+from repro.obs import METRICS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    TRACER.reset()
+    METRICS.reset()
+    yield
+    TRACER.reset()
+    METRICS.reset()

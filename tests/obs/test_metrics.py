@@ -1,0 +1,82 @@
+"""Metrics registry tests: instruments, snapshot determinism, rendering."""
+
+from repro.obs import METRICS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        assert registry.counter("hits").value == 5
+
+    def test_gauge_set_and_max(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 3)
+        registry.gauge("depth").max(7)
+        registry.gauge("depth").max(2)      # lower value keeps the peak
+        assert registry.gauge("depth").value == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("lat", value)
+        summary = registry.histogram("lat").snapshot()
+        assert summary == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0,
+                           "mean": 2.0}
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.time("block"):
+            pass
+        snap = registry.histogram("block").snapshot()
+        assert snap["count"] == 1 and snap["min"] >= 0
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic(self):
+        def populate(registry):
+            registry.inc("z.counter", 2)
+            registry.set_gauge("a.gauge", 1.5)
+            registry.observe("m.hist", 4.0)
+
+        first, second = MetricsRegistry(), MetricsRegistry()
+        populate(first)
+        populate(second)
+        assert first.snapshot() == second.snapshot()
+        assert list(first.snapshot()) == sorted(first.snapshot())
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 2)
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 1
+        assert snap["g"] == 2
+        assert snap["h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestRender:
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_render_aligns_names(self):
+        registry = MetricsRegistry()
+        registry.inc("short")
+        registry.set_gauge("a.much.longer.metric", 1.0)
+        lines = registry.render().splitlines()
+        assert len(lines) == 2
+        # one column of names, aligned on the longest
+        assert lines[0].startswith("a.much.longer.metric  ")
+        assert lines[1].startswith("short                 ")
+
+    def test_global_registry_exists(self):
+        METRICS.inc("smoke")
+        assert METRICS.snapshot()["smoke"] == 1

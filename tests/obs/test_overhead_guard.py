@@ -1,0 +1,60 @@
+"""Slow guard: the obs layer's disabled fast path must stay cheap.
+
+Invokes benchmarks/check_overhead.py (the CI benchmark guard) as a
+library: the Figure-2 example check with tracing disabled must be
+within 5% of an uninstrumented seed-replica baseline, and a disabled
+emit/span call must cost well under a microsecond.
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import check_overhead  # noqa: E402  (benchmarks/ is not a package)
+
+
+@pytest.mark.slow
+class TestOverheadGuard:
+    def test_disabled_tracing_overhead_under_threshold(self):
+        # a single round can exceed the margin under machine load; the
+        # guard claim holds if any of three rounds stays within 5%
+        overheads = []
+        for _ in range(3):
+            results = check_overhead.measure(iterations=40, samples=9)
+            overheads.append(results["disabled_overhead_pct"])
+            if overheads[-1] <= 5.0:
+                break
+        assert min(overheads) <= 5.0, overheads
+
+    def test_disabled_calls_are_submicrosecond(self):
+        results = check_overhead.measure(iterations=5, samples=2)
+        assert results["disabled_emit_ns"] < 1000.0
+        assert results["disabled_span_ns"] < 1000.0
+
+    def test_guard_script_main_passes(self, capsys):
+        # exercises the pass path / report format only, so run with few
+        # iterations and a loose threshold; the 5% claim itself is
+        # checked above at full sample counts
+        assert check_overhead.main(["--iterations", "20", "--samples", "5",
+                                    "--threshold", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: disabled-tracing overhead" in out
+
+    def test_guard_script_fails_on_impossible_threshold(self, capsys):
+        # a negative threshold cannot be met: the failure path must trip
+        assert check_overhead.main(
+            ["--iterations", "5", "--samples", "2", "--threshold", "-100"]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_seed_replica_matches_instrumented_checker(self):
+        from repro.specs import build_example_spec
+        from repro.tlaplus import check, to_dot
+
+        replica = check_overhead._seed_check(build_example_spec(data=(1, 2)))
+        instrumented = check(build_example_spec(data=(1, 2))).graph
+        assert to_dot(replica) == to_dot(instrumented)

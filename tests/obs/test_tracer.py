@@ -1,0 +1,138 @@
+"""Tracer unit tests: fast path, ring buffer, ordering, JSONL sink."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, TRACER, TraceEvent
+from repro.obs.tracer import jsonable
+from repro.tlaplus.values import FrozenDict, freeze
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert TRACER.enabled is False
+
+    def test_disabled_emit_records_nothing(self):
+        TRACER.emit("x", a=1)
+        assert TRACER.events() == []
+        assert TRACER.emitted == 0
+
+    def test_disabled_span_is_the_shared_noop(self):
+        span = TRACER.span("x", a=1)
+        assert span is NULL_SPAN
+        with span as active:
+            active.add(b=2)     # must be accepted and ignored
+        assert TRACER.events() == []
+
+    def test_field_named_name_is_allowed(self):
+        # emit()'s own parameter is positional-only, so instrumented code
+        # may carry a field literally called "name"
+        TRACER.configure(enabled=True)
+        TRACER.emit("scheduler.notification", name="Request", node="n1")
+        (event,) = TRACER.events()
+        assert event.fields["name"] == "Request"
+
+
+class TestRecording:
+    def test_event_and_span_records(self):
+        TRACER.configure(enabled=True)
+        TRACER.emit("alpha", x=1)
+        with TRACER.span("beta", y=2) as span:
+            span.add(z=3)
+        alpha, beta = TRACER.events()
+        assert (alpha.kind, alpha.name, alpha.fields) == ("event", "alpha", {"x": 1})
+        assert beta.kind == "span" and beta.fields == {"y": 2, "z": 3}
+        assert beta.dur >= 0
+
+    def test_timestamps_strictly_increase(self):
+        TRACER.configure(enabled=True)
+        for i in range(100):
+            TRACER.emit("tick", i=i)
+        events = TRACER.events()
+        assert [e.seq for e in events] == list(range(100))
+        for prev, cur in zip(events, events[1:]):
+            assert cur.ts > prev.ts
+
+    def test_ring_buffer_overflow_keeps_newest(self):
+        TRACER.configure(enabled=True, capacity=10)
+        for i in range(25):
+            TRACER.emit("tick", i=i)
+        events = TRACER.events()
+        assert len(events) == 10
+        assert [e.fields["i"] for e in events] == list(range(15, 25))
+        assert TRACER.emitted == 25
+        assert TRACER.dropped == 15
+
+    def test_filter_by_name(self):
+        TRACER.configure(enabled=True)
+        TRACER.emit("a")
+        TRACER.emit("b")
+        TRACER.emit("a")
+        assert len(TRACER.events("a")) == 2
+
+    def test_emit_is_thread_safe(self):
+        TRACER.configure(enabled=True)
+
+        def worker(tid):
+            for i in range(200):
+                TRACER.emit("tick", tid=tid, i=i)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = TRACER.events()
+        assert len(events) == 800
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+
+class TestSink:
+    def test_jsonl_sink_one_record_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        TRACER.configure(enabled=True, sink=str(path))
+        TRACER.emit("alpha", x=1)
+        with TRACER.span("beta"):
+            pass
+        TRACER.disable()        # closes (and flushes) the sink
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "alpha" and first["fields"] == {"x": 1}
+        assert json.loads(lines[1])["kind"] == "span"
+
+    def test_reset_clears_buffer_and_sequence(self, tmp_path):
+        TRACER.configure(enabled=True)
+        TRACER.emit("x")
+        TRACER.reset()
+        assert TRACER.events() == [] and TRACER.emitted == 0
+        TRACER.configure(enabled=True)
+        TRACER.emit("y")
+        assert TRACER.events()[0].seq == 0
+
+
+class TestJsonable:
+    def test_spec_domain_values_serialize(self):
+        value = FrozenDict({"bag": freeze({"k": (1, 2)}),
+                            "s": frozenset({3, 1})})
+        out = jsonable(value)
+        assert out == {"bag": {"k": [1, 2]}, "s": [1, 3]}
+        json.dumps(out)         # must be JSON-clean
+
+    def test_unserializable_falls_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert jsonable(Odd()) == "<odd>"
+
+
+class TestRoundTrip:
+    def test_event_dict_round_trip(self):
+        event = TraceEvent(3, 1.25, "span", "runner.step", 0.5, {"case": 1})
+        clone = TraceEvent.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert (clone.seq, clone.ts, clone.kind, clone.name, clone.dur,
+                clone.fields) == (3, 1.25, "span", "runner.step", 0.5,
+                                  {"case": 1})

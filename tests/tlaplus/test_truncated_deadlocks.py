@@ -1,0 +1,37 @@
+"""The deadlocks() footgun: truncated runs must not silently report
+frontier states as deadlocks."""
+
+import warnings
+
+import pytest
+
+from repro.specs import build_example_spec
+from repro.tlaplus import TruncatedExplorationWarning, check
+
+
+class TestTruncatedDeadlocks:
+    def test_truncated_run_warns(self):
+        result = check(build_example_spec(), max_states=5, truncate=True)
+        assert not result.complete
+        with pytest.warns(TruncatedExplorationWarning,
+                          match="truncated exploration"):
+            result.deadlocks()
+
+    def test_truncated_run_strict_raises(self):
+        result = check(build_example_spec(), max_states=5, truncate=True)
+        with pytest.raises(ValueError, match="truncated exploration"):
+            result.deadlocks(strict=True)
+
+    def test_complete_run_stays_silent(self):
+        result = check(build_example_spec())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.deadlocks() == []
+            assert result.deadlocks(strict=True) == []
+
+    def test_warned_value_is_still_returned(self):
+        # warn-don't-break: existing callers still get the terminal ids
+        result = check(build_example_spec(), max_states=5, truncate=True)
+        with pytest.warns(TruncatedExplorationWarning):
+            ids = result.deadlocks()
+        assert ids == result.graph.terminal_ids()
