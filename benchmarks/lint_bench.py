@@ -1,0 +1,73 @@
+"""Benchmark guard: ``mocket lint`` must stay interactive-fast.
+
+The linter is meant to run on every edit-compile loop (and as a CI
+gate), so a full lint of the heaviest bundled target — pyxraft, whose
+context includes building the Raft spec, its mapping, and the ``ast``
+model of the system package — must finish well under the threshold
+(default 2 s wall clock).
+
+The measured unit is one cold ``lint_target("pyxraft")`` call: target
+resolution, rule selection, all 18 rules, and suppression matching.
+The minimum over a few repeats is used so machine noise cannot fail
+the guard spuriously.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/lint_bench.py [--threshold 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.analysis import lint_target
+
+TARGET = "pyxraft"
+DEFAULT_THRESHOLD_S = 2.0
+
+
+def measure(repeats: int = 3) -> Dict[str, float]:
+    """Time ``lint_target(TARGET)``; returns per-repeat and best seconds."""
+    timings = []
+    findings = 0
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        result = lint_target(TARGET)
+        timings.append(time.perf_counter() - started)
+        findings = len(result.findings)
+    return {
+        "best_s": min(timings),
+        "mean_s": sum(timings) / len(timings),
+        "worst_s": max(timings),
+        "findings": float(findings),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_S,
+                        help="maximum allowed best-of-N seconds")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = measure(repeats=args.repeats)
+    print(f"lint {TARGET}: best {results['best_s']*1000:.1f} ms, "
+          f"mean {results['mean_s']*1000:.1f} ms, "
+          f"worst {results['worst_s']*1000:.1f} ms "
+          f"over {args.repeats} repeats "
+          f"({int(results['findings'])} findings)")
+    if results["best_s"] > args.threshold:
+        print(f"FAIL: best lint time {results['best_s']:.2f}s exceeds "
+              f"threshold {args.threshold:.2f}s")
+        return 1
+    print(f"OK: under the {args.threshold:.2f}s threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Static conformance analysis for spec/mapping/implementation triples.
+
+``mocket lint <target>`` runs a pluggable set of rules (stable codes
+``MCK001`` ...; catalogue in docs/ANALYSIS.md) over a specification,
+its :class:`SpecMapping`, and an :mod:`ast`-level model of the
+instrumented implementation — catching the paper's "developer errors"
+(unmapped variables, missing hooks, state written behind the testbed's
+back) before any cluster is ever deployed.
+
+Public API::
+
+    result = lint_target("pyxraft")       # bundled target by name
+    result = run_lint(LintContext(...))   # any spec/mapping/impl triple
+"""
+
+from .astmodel import ImplModel
+from .engine import LintContext, LintResult, Rule, all_rules, register, run_lint
+from .findings import Finding, Severity
+from .report import JSON_SCHEMA_VERSION, as_json_dict, render_json, render_text
+from . import targets
+
+__all__ = [
+    "Finding",
+    "ImplModel",
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "as_json_dict",
+    "lint_target",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "targets",
+]
+
+
+def lint_target(name: str) -> LintResult:
+    """Lint one bundled target (system or spec) by name."""
+    # resolved through the module attribute so tests can substitute targets
+    return run_lint(targets.resolve(name))

@@ -1,0 +1,268 @@
+"""Static model of an instrumented system, extracted with :mod:`ast`.
+
+The conformance rules need to know, without importing or running the
+system under test, which instrumentation hooks its source declares:
+
+* ``traced_field("specName")`` class attributes (shadow variables),
+* ``record_var(node, "specName", value)`` calls (method variables),
+* ``@mocket_action`` / ``@mocket_receive`` decorated methods and
+  ``with action_span(self, "Name", ...)`` snippet spans,
+* ``get_msg(node, "msgVar", ...)`` outgoing-message recordings,
+
+plus the **shadow writes**: assignments to a traced-field attribute
+from code no action hook covers.  Such a write mutates mapped state
+behind the testbed's back — the static analogue of a race on mapped
+state — and is the defect rule MCK203 reports.
+
+Coverage is computed per line.  A line is covered when it sits in a
+``@mocket_action``/``@mocket_receive`` method, inside a ``with
+action_span(...)`` block, or in ``__init__`` (construction precedes
+deployment, so the state checker never observes it).  A helper method
+is covered transitively when *every* in-class reference to it (call or
+``self.helper`` mention) sits on a covered line — the pattern of
+``_step_down``-style helpers that only run inside instrumented
+handlers.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["TracedField", "ActionHook", "ShadowWrite", "MessageUse",
+           "RecordedVar", "ImplModel"]
+
+_ACTION_DECORATORS = ("mocket_action", "mocket_receive")
+
+
+@dataclass(frozen=True)
+class TracedField:
+    """One ``attr = traced_field("spec_name")`` class attribute."""
+
+    attr: str
+    spec_name: str
+    class_name: str
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class RecordedVar:
+    """One ``record_var(node, "spec_name", value)`` call site."""
+
+    spec_name: str
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ActionHook:
+    """One instrumentation hook mapping code to a spec action."""
+
+    action: str
+    kind: str                    # "mocket_action" | "mocket_receive" | "action_span"
+    class_name: str
+    method: str
+    file: str
+    line: int
+    msg_var: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MessageUse:
+    """One message-variable reference (``get_msg``/``mocket_receive``)."""
+
+    msg_var: str
+    class_name: str
+    method: str
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ShadowWrite:
+    """An assignment to a traced-field attribute outside action coverage."""
+
+    attr: str
+    spec_name: str
+    class_name: str
+    method: str
+    file: str
+    line: int
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """The bare callee name of a Call node (``foo(...)`` or ``m.foo(...)``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _str_arg(call: ast.Call, index: int) -> Optional[str]:
+    if len(call.args) > index:
+        arg = call.args[index]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+class _ClassScan:
+    """Per-class accumulator used while walking one ClassDef."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.traced: Dict[str, str] = {}            # attr -> spec_name
+        self.methods: Set[str] = set()
+        self.decorated: Set[str] = set()            # methods with action decorators
+        self.span_ranges: Dict[str, List[Tuple[int, int]]] = {}
+        self.writes: List[Tuple[str, str, int]] = []     # (attr, method, line)
+        self.refs: Dict[str, List[Tuple[str, int]]] = {}  # method -> [(caller, line)]
+
+
+class ImplModel:
+    """Everything the conformance rules need to know about a system's source."""
+
+    def __init__(self) -> None:
+        self.traced_fields: List[TracedField] = []
+        self.record_vars: List[RecordedVar] = []
+        self.hooks: List[ActionHook] = []
+        self.message_uses: List[MessageUse] = []
+        self.shadow_writes: List[ShadowWrite] = []
+        self.files: List[str] = []
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def shadow_names(self) -> Set[str]:
+        """Every shadow-store key the source can populate."""
+        names = {tf.spec_name for tf in self.traced_fields}
+        names.update(rv.spec_name for rv in self.record_vars)
+        return names
+
+    @property
+    def hook_actions(self) -> Set[str]:
+        return {hook.action for hook in self.hooks}
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_package(cls, package_dir: str) -> "ImplModel":
+        """Parse every ``*.py`` file directly inside ``package_dir``."""
+        model = cls()
+        for entry in sorted(os.listdir(package_dir)):
+            if entry.endswith(".py"):
+                model.add_file(os.path.join(package_dir, entry))
+        return model
+
+    def add_file(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source, filename=path)
+        self.files.append(path)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._scan_class(node, path)
+
+    # -- class analysis -----------------------------------------------------------
+    def _scan_class(self, cls_node: ast.ClassDef, path: str) -> None:
+        scan = _ClassScan(cls_node.name)
+        for stmt in cls_node.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and _call_name(stmt.value) == "traced_field":
+                spec_name = _str_arg(stmt.value, 0)
+                if spec_name is not None:
+                    attr = stmt.targets[0].id
+                    scan.traced[attr] = spec_name
+                    self.traced_fields.append(TracedField(
+                        attr, spec_name, scan.name, path, stmt.lineno))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan.methods.add(stmt.name)
+        for stmt in cls_node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_method(stmt, scan, path)
+        self._emit_shadow_writes(scan, path)
+
+    def _scan_method(self, fn: ast.AST, scan: _ClassScan, path: str) -> None:
+        method = fn.name
+        spans = scan.span_ranges.setdefault(method, [])
+        for deco in fn.decorator_list:
+            name = _call_name(deco)
+            if name in _ACTION_DECORATORS:
+                action = _str_arg(deco, 0)
+                if action is not None:
+                    scan.decorated.add(method)
+                    self.hooks.append(ActionHook(
+                        action, name, scan.name, method, path, deco.lineno,
+                        msg_var=_str_arg(deco, 1)))
+                    if name == "mocket_receive":
+                        msg_var = _str_arg(deco, 1)
+                        if msg_var is not None:
+                            self.message_uses.append(MessageUse(
+                                msg_var, scan.name, method, path, deco.lineno))
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    call = item.context_expr
+                    if _call_name(call) == "action_span":
+                        action = _str_arg(call, 1)
+                        if action is not None:
+                            self.hooks.append(ActionHook(
+                                action, "action_span", scan.name, method,
+                                path, call.lineno))
+                            spans.append((node.lineno,
+                                          node.end_lineno or node.lineno))
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name == "record_var":
+                    spec_name = _str_arg(node, 1)
+                    if spec_name is not None:
+                        self.record_vars.append(RecordedVar(
+                            spec_name, path, node.lineno))
+                elif name == "get_msg":
+                    msg_var = _str_arg(node, 1)
+                    if msg_var is not None:
+                        self.message_uses.append(MessageUse(
+                            msg_var, scan.name, method, path, node.lineno))
+            elif isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "self":
+                if isinstance(node.ctx, ast.Store):
+                    if node.attr in scan.traced:
+                        scan.writes.append((node.attr, method, node.lineno))
+                elif node.attr in scan.methods:
+                    scan.refs.setdefault(node.attr, []).append(
+                        (method, node.lineno))
+
+    # -- coverage ---------------------------------------------------------------
+    def _emit_shadow_writes(self, scan: _ClassScan, path: str) -> None:
+        if not scan.writes:
+            return
+        covered: Set[str] = set(scan.decorated) | {"__init__"}
+
+        def line_covered(method: str, line: int) -> bool:
+            if method in covered:
+                return True
+            return any(start <= line <= end
+                       for start, end in scan.span_ranges.get(method, ()))
+
+        # fixpoint: a helper whose every in-class reference is covered
+        # only ever runs inside an instrumented action
+        changed = True
+        while changed:
+            changed = False
+            for method in scan.methods - covered:
+                refs = scan.refs.get(method)
+                if refs and all(line_covered(c, l) for c, l in refs):
+                    covered.add(method)
+                    changed = True
+
+        for attr, method, line in scan.writes:
+            if not line_covered(method, line):
+                self.shadow_writes.append(ShadowWrite(
+                    attr, scan.traced[attr], scan.name, method, path, line))

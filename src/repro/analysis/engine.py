@@ -1,0 +1,138 @@
+"""The pluggable rule engine behind ``mocket lint``.
+
+A :class:`Rule` inspects a :class:`LintContext` — the constructed
+:class:`Specification`, optionally its :class:`SpecMapping` and the
+:class:`ImplModel` extracted from the instrumented system's source —
+and yields :class:`Finding`s.  Rules register themselves with the
+module-level registry via the :func:`register` decorator; stable codes
+(``MCK001`` ...) never change meaning once released (docs/ANALYSIS.md
+is the catalogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from ..core.mapping import SpecMapping
+from ..tlaplus.spec import Specification
+from .astmodel import ImplModel
+from .findings import Finding, Severity, apply_suppressions
+
+__all__ = ["LintContext", "Rule", "LintResult", "register", "all_rules",
+           "rules_for", "run_lint"]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect for one lint target."""
+
+    target: str
+    spec: Specification
+    mapping: Optional[SpecMapping] = None
+    impl: Optional[ImplModel] = None
+
+
+class Rule:
+    """One lint rule.  Subclasses set the class attributes and implement
+    :meth:`run`; ``requires`` names the context pieces the rule needs
+    (``"spec"``, ``"mapping"``, ``"impl"``) — the engine skips rules
+    whose requirements the target cannot satisfy (e.g. conformance rules
+    on a spec-only target)."""
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    requires: Tuple[str, ...] = ("spec",)
+    description: str = ""
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def applicable(self, ctx: LintContext) -> bool:
+        return all(getattr(ctx, need, None) is not None for need in self.requires)
+
+    def finding(self, message: str, file: Optional[str] = None,
+                line: Optional[int] = None, obj: Optional[str] = None) -> Finding:
+        return Finding(code=self.code, severity=self.severity,
+                       message=message, file=file, line=line, obj=obj)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the engine's registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by code."""
+    _load_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rules_for(ctx: LintContext) -> List[Rule]:
+    """The registered rules whose requirements ``ctx`` satisfies."""
+    return [rule for rule in all_rules() if rule.applicable(ctx)]
+
+
+def _load_builtin_rules() -> None:
+    # rule modules self-register on import; imported lazily to avoid an
+    # import cycle (rules import this module for @register)
+    from . import rules_conformance, rules_spec  # noqa: F401
+
+
+@dataclass
+class LintResult:
+    """All findings for one lint target, suppressions applied."""
+
+    target: str
+    findings: List[Finding] = field(default_factory=list)
+    rules_run: int = 0
+
+    def unsuppressed(self, min_severity: Severity = Severity.INFO) -> List[Finding]:
+        return [f for f in self.findings
+                if not f.suppressed and f.severity >= min_severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.unsuppressed(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.unsuppressed(Severity.WARNING)
+                if f.severity is Severity.WARNING]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": len(self.suppressed),
+            "total": len(self.findings),
+        }
+
+
+def run_lint(ctx: LintContext, rules: Optional[Iterable[Rule]] = None) -> LintResult:
+    """Run every applicable rule over ``ctx`` and collect the findings."""
+    selected = list(rules) if rules is not None else rules_for(ctx)
+    findings: List[Finding] = []
+    rules_run = 0
+    for rule in selected:
+        if not rule.applicable(ctx):
+            continue
+        rules_run += 1
+        findings.extend(rule.run(ctx))
+    findings = apply_suppressions(findings)
+    findings.sort(key=Finding.sort_key)
+    return LintResult(target=ctx.target, findings=findings, rules_run=rules_run)

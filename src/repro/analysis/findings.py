@@ -1,0 +1,112 @@
+"""Findings, severities and suppression comments for the static linter.
+
+A :class:`Finding` is one defect reported by one rule.  Findings carry a
+stable rule code (``MCK001`` ...), a severity, a human message, and —
+when the defect is anchored to source — a file and line, so that a
+``# mocket: ignore[MCKxxx]`` comment on that line suppresses it.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Severity", "Finding", "apply_suppressions"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered so comparisons work (ERROR > WARNING)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {name!r}") from None
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass
+class Finding:
+    """One defect reported by one lint rule."""
+
+    code: str
+    severity: Severity
+    message: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    obj: Optional[str] = None       # dotted path, e.g. "spec.raft/action.Timeout"
+    suppressed: bool = False
+    _sort_extra: int = field(default=0, repr=False, compare=False)
+
+    def location(self) -> str:
+        if self.file is None:
+            return "<mapping>"
+        if self.line is None:
+            return self.file
+        return f"{self.file}:{self.line}"
+
+    def sort_key(self):
+        return (self.file or "", self.line or 0, self.code, self.message)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "object": self.obj,
+            "suppressed": self.suppressed,
+        }
+
+
+# ``# mocket: ignore`` suppresses every code on the line;
+# ``# mocket: ignore[MCK203]`` / ``ignore[MCK203, MCK105]`` select codes.
+_SUPPRESS_RE = re.compile(
+    r"#\s*mocket:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?")
+
+
+def _suppressed_codes(source_line: str) -> Optional[frozenset]:
+    """The set of codes suppressed on this line (empty set = all codes),
+    or None when the line carries no suppression comment."""
+    match = _SUPPRESS_RE.search(source_line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(c.strip() for c in codes.split(",") if c.strip())
+
+
+def apply_suppressions(findings: Iterable[Finding]) -> List[Finding]:
+    """Mark findings silenced by a ``# mocket: ignore[...]`` comment on
+    their source line.  Findings without a file/line anchor can only be
+    fixed, never suppressed."""
+    findings = list(findings)
+    cache: Dict[str, List[str]] = {}
+    for finding in findings:
+        if finding.file is None or finding.line is None:
+            continue
+        lines = cache.get(finding.file)
+        if lines is None:
+            try:
+                with open(finding.file, "r", encoding="utf-8") as fh:
+                    lines = fh.read().splitlines()
+            except OSError:
+                lines = []
+            cache[finding.file] = lines
+        if not 1 <= finding.line <= len(lines):
+            continue
+        codes = _suppressed_codes(lines[finding.line - 1])
+        if codes is not None and (not codes or finding.code in codes):
+            finding.suppressed = True
+    return findings

@@ -1,0 +1,61 @@
+"""Text and JSON reporters for lint results.
+
+The JSON document is a stable interface (``"version": 1``): tools may
+parse it, so keys are only ever *added*, never renamed or removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from .engine import LintResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json", "as_json_dict"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _relpath(path: str) -> str:
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:       # different drive (Windows)
+        return path
+    return path if rel.startswith("..") else rel
+
+
+def render_text(result: LintResult) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines = []
+    for finding in result.findings:
+        location = finding.location()
+        if finding.file is not None:
+            location = _relpath(finding.file)
+            if finding.line is not None:
+                location += f":{finding.line}"
+        note = " (suppressed)" if finding.suppressed else ""
+        lines.append(f"{location}: {finding.severity}: "
+                     f"{finding.code}: {finding.message}{note}")
+    counts = result.counts()
+    lines.append(
+        f"{result.target}: {counts['errors']} error(s), "
+        f"{counts['warnings']} warning(s), "
+        f"{counts['suppressed']} suppressed "
+        f"({result.rules_run} rules)")
+    return "\n".join(lines)
+
+
+def as_json_dict(result: LintResult) -> Dict[str, Any]:
+    """The JSON-reporter document as a plain dict."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "target": result.target,
+        "rules_run": result.rules_run,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": result.counts(),
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(as_json_dict(result), indent=2, sort_keys=True)

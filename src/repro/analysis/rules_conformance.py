@@ -1,0 +1,278 @@
+"""Conformance rules: the mapping vs the spec (MCK101-MCK105) and the
+instrumented implementation vs both (MCK201-MCK206).
+
+MCK101-MCK104 are the runtime :meth:`SpecMapping.validate` checks,
+re-reported through the linter: :meth:`SpecMapping.problems` is the
+single source of truth, so the static and runtime gates can never
+disagree.  The MCK2xx rules consume the :class:`ImplModel` extracted
+from the system's source — they need the code, not a running cluster.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from ..core.mapping.kinds import TriggerKind
+from ..tlaplus.spec import VarKind
+from .engine import LintContext, Rule, register
+from .findings import Finding, Severity
+
+__all__ = []  # rules register themselves; nothing to re-export
+
+
+class _MappingProblemRule(Rule):
+    """Base for MCK101-MCK104: re-report one code from
+    :meth:`SpecMapping.problems`."""
+
+    requires = ("spec", "mapping")
+    severity = Severity.ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for problem in ctx.mapping.problems():
+            if problem.code == self.code:
+                yield self.finding(problem.message,
+                                   obj=f"mapping.{ctx.spec.name}")
+
+
+@register
+class UnmappedVariableRule(_MappingProblemRule):
+    code = "MCK101"
+    name = "unmapped-variable"
+    description = ("A state variable is neither mapped nor explicitly "
+                   "skipped; the state checker cannot compare it.")
+
+
+@register
+class ForbiddenMappingRule(_MappingProblemRule):
+    code = "MCK102"
+    name = "forbidden-mapping"
+    description = ("A counter or auxiliary variable is mapped; those "
+                   "exist only to bound/guide exploration and must not "
+                   "be compared against the implementation.")
+
+
+@register
+class UnmappedActionRule(_MappingProblemRule):
+    code = "MCK103"
+    name = "unmapped-action"
+    description = ("A spec action has no mapping, so the testbed cannot "
+                   "drive or await it and every schedule containing it "
+                   "is untestable.")
+
+
+@register
+class TriggerMismatchRule(_MappingProblemRule):
+    code = "MCK104"
+    name = "trigger-mismatch"
+    description = ("A fault/user-request action is mapped with the wrong "
+                   "trigger kind (e.g. a crash mapped as spontaneous).")
+
+
+# (callable attribute, owner kind, expected positional arity)
+_VARIABLE_CALLABLES: Tuple[Tuple[str, int], ...] = (
+    ("to_spec", 1), ("compare", 2), ("derive", 2))
+_ACTION_CALLABLES: Tuple[Tuple[str, int], ...] = (
+    ("run", 3), ("duplicate", 2))
+
+
+def _accepts_arity(fn: Callable, arity: int) -> Optional[bool]:
+    """Whether ``fn`` can be called with ``arity`` positional args;
+    None when the signature is not introspectable (C builtins)."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+    try:
+        sig.bind(*(object() for _ in range(arity)))
+    except TypeError:
+        return False
+    return True
+
+
+@register
+class TranslatorArityRule(Rule):
+    code = "MCK105"
+    name = "translator-arity"
+    severity = Severity.ERROR
+    requires = ("spec", "mapping")
+    description = ("A mapping callback has the wrong arity: "
+                   "``to_spec(value)``, ``compare(spec, impl)``, "
+                   "``derive(cluster, node_id)``, "
+                   "``run(cluster, params, occurrence)``, "
+                   "``duplicate(cluster, msg)``. A mismatch only "
+                   "surfaces as a TypeError mid-test-campaign.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, vmap in ctx.mapping.variables.items():
+            for attr, arity in _VARIABLE_CALLABLES:
+                yield from self._check(ctx, getattr(vmap, attr), attr, arity,
+                                       f"variable {name!r}")
+        for name, amap in ctx.mapping.actions.items():
+            for attr, arity in _ACTION_CALLABLES:
+                yield from self._check(ctx, getattr(amap, attr), attr, arity,
+                                       f"action {name!r}")
+
+    def _check(self, ctx: LintContext, fn: Optional[Callable], attr: str,
+               arity: int, owner: str) -> Iterable[Finding]:
+        if fn is None or _accepts_arity(fn, arity) is not False:
+            return
+        code = getattr(fn, "__code__", None)
+        yield self.finding(
+            f"{owner} {attr} callback {getattr(fn, '__name__', '?')!r} does "
+            f"not accept {arity} positional argument(s)",
+            file=code.co_filename if code else None,
+            line=code.co_firstlineno if code else None,
+            obj=f"mapping.{ctx.spec.name}/{owner.split(' ')[0]}")
+
+
+def _mapped_impl_names(ctx: LintContext) -> Set[str]:
+    """Shadow-store keys the state checker will read for this mapping."""
+    return {vmap.impl_name for vmap in ctx.mapping.variables.values()
+            if not vmap.skipped and vmap.derive is None}
+
+
+@register
+class MissingShadowFieldRule(Rule):
+    code = "MCK201"
+    name = "missing-shadow-field"
+    severity = Severity.ERROR
+    requires = ("spec", "mapping", "impl")
+    description = ("A variable mapping names an ``impl_name`` no "
+                   "``traced_field``/``record_var`` in the source ever "
+                   "populates; the state checker would always read an "
+                   "absent shadow entry.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        available = ctx.impl.shadow_names
+        for name, vmap in sorted(ctx.mapping.variables.items()):
+            if vmap.skipped or vmap.derive is not None:
+                continue
+            if vmap.impl_name not in available:
+                yield self.finding(
+                    f"variable {name!r} maps to shadow field "
+                    f"{vmap.impl_name!r}, which no traced_field/record_var "
+                    f"declares",
+                    obj=f"mapping.{ctx.spec.name}/variable.{name}")
+
+
+@register
+class MissingActionHookRule(Rule):
+    code = "MCK202"
+    name = "missing-action-hook"
+    severity = Severity.ERROR
+    requires = ("spec", "mapping", "impl")
+    description = ("A spontaneous or user-request action has no "
+                   "``@mocket_action``/``@mocket_receive``/``action_span`` "
+                   "hook in the source, so the testbed would wait forever "
+                   "for its notification.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        hooked = ctx.impl.hook_actions
+        for name, amap in sorted(ctx.mapping.actions.items()):
+            if amap.trigger is TriggerKind.FAULT:
+                continue  # injected by the testbed, not observed in-code
+            if name not in hooked:
+                yield self.finding(
+                    f"action {name!r} ({amap.trigger.value}) has no "
+                    f"instrumentation hook in the implementation",
+                    obj=f"mapping.{ctx.spec.name}/action.{name}")
+
+
+@register
+class ShadowWriteRule(Rule):
+    code = "MCK203"
+    name = "shadow-write"
+    severity = Severity.ERROR
+    requires = ("impl",)
+    description = ("A traced-field attribute is assigned from code no "
+                   "action hook covers; mapped state changes behind the "
+                   "testbed's back and state checking sees a stale or "
+                   "impossible value.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for write in ctx.impl.shadow_writes:
+            yield self.finding(
+                f"{write.class_name}.{write.method} writes traced field "
+                f"{write.attr!r} (spec variable {write.spec_name!r}) outside "
+                f"any action hook",
+                file=write.file, line=write.line,
+                obj=f"impl.{write.class_name}.{write.method}")
+
+
+@register
+class UnknownHookActionRule(Rule):
+    code = "MCK204"
+    name = "unknown-hook-action"
+    severity = Severity.WARNING
+    requires = ("spec", "impl")
+    description = ("An instrumentation hook names an action the spec does "
+                   "not declare — often a leftover from a spec rename, or "
+                   "a hook only meaningful for a spec variant.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for hook in ctx.impl.hooks:
+            if hook.action not in ctx.spec.actions:
+                yield self.finding(
+                    f"{hook.kind} hook in {hook.class_name}.{hook.method} "
+                    f"names unknown action {hook.action!r}",
+                    file=hook.file, line=hook.line,
+                    obj=f"impl.{hook.class_name}.{hook.method}")
+
+
+@register
+class DanglingTracedFieldRule(Rule):
+    code = "MCK205"
+    name = "dangling-traced-field"
+    severity = Severity.WARNING
+    requires = ("spec", "mapping", "impl")
+    description = ("A ``traced_field``/``record_var`` populates a shadow "
+                   "entry no variable mapping ever reads; the tracing "
+                   "work is dead weight on every state write.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        wanted = _mapped_impl_names(ctx)
+        for tf in ctx.impl.traced_fields:
+            if tf.spec_name not in wanted:
+                yield self.finding(
+                    f"traced field {tf.class_name}.{tf.attr} populates "
+                    f"shadow entry {tf.spec_name!r}, which no variable "
+                    f"mapping reads",
+                    file=tf.file, line=tf.line,
+                    obj=f"impl.{tf.class_name}.{tf.attr}")
+        seen: Set[Tuple[str, int]] = set()
+        for rv in ctx.impl.record_vars:
+            if rv.spec_name not in wanted and (rv.file, rv.line) not in seen:
+                seen.add((rv.file, rv.line))
+                yield self.finding(
+                    f"record_var populates shadow entry {rv.spec_name!r}, "
+                    f"which no variable mapping reads",
+                    file=rv.file, line=rv.line,
+                    obj=f"impl.record_var.{rv.spec_name}")
+
+
+@register
+class BadMessageUseRule(Rule):
+    code = "MCK206"
+    name = "bad-message-use"
+    severity = Severity.ERROR
+    requires = ("spec", "impl")
+    description = ("``get_msg``/``mocket_receive`` names a message "
+                   "variable the spec does not declare as message-kind; "
+                   "the recorded message lands in a set the checker never "
+                   "compares.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for use in ctx.impl.message_uses:
+            decl = ctx.spec.variables.get(use.msg_var)
+            if decl is None:
+                problem = "undeclared variable"
+            elif decl.kind is not VarKind.MESSAGE:
+                problem = f"{decl.kind.value} variable (message required)"
+            else:
+                continue
+            yield self.finding(
+                f"{use.class_name}.{use.method} records messages under "
+                f"{use.msg_var!r}: {problem}",
+                file=use.file, line=use.line,
+                obj=f"impl.{use.class_name}.{use.method}")

@@ -1,0 +1,349 @@
+"""Spec rules (MCK001-MCK007): defects inside a single specification.
+
+These rules inspect a constructed :class:`Specification` — its declared
+variables, constants, actions and invariants — combining runtime
+introspection (the real function objects are available) with ``ast``
+analysis of each function's source.  When a function's source cannot be
+retrieved (e.g. it was defined interactively) the rules stay silent for
+it rather than guess: a spec rule never reports a defect it cannot
+anchor in evidence.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable, Iterable, List, Optional, Set, Tuple
+
+from ..tlaplus.spec import ActionKind, Specification, VarKind
+from ..tlaplus.state import State
+from .engine import LintContext, Rule, register
+from .findings import Finding, Severity
+
+__all__ = []  # rules register themselves; nothing to re-export
+
+# Attributes invariants may legitimately access on a State besides the
+# spec's variables (the State API itself).
+_STATE_API = {name for name in vars(State) if not name.startswith("_")}
+
+
+def _fn_source_ast(fn: Callable) -> Optional[ast.AST]:
+    cached = getattr(fn, "_mocket_lint_ast", None)
+    if cached is not None:
+        return cached
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    try:
+        fn._mocket_lint_ast = tree
+    except AttributeError:
+        pass  # builtins / slotted callables: just re-parse next time
+    return tree
+
+
+def _fn_location(fn: Callable) -> Tuple[Optional[str], Optional[int]]:
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None, None
+    return code.co_filename, code.co_firstlineno
+
+
+def _spec_functions(spec: Specification) -> List[Tuple[str, Callable]]:
+    fns: List[Tuple[str, Callable]] = []
+    if spec._init_fn is not None:
+        fns.append(("init", spec._init_fn))
+    fns.extend((f"action.{name}", decl.fn) for name, decl in spec.actions.items())
+    fns.extend((f"invariant.{name}", fn) for name, fn in spec.invariants.items())
+    return fns
+
+
+def _state_names_used(tree: ast.AST) -> Set[str]:
+    """Variable names a function touches: ``state.x``, ``state["x"]``,
+    or any string constant (covers update-dict keys like ``{"x": ...}``)."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+                and node.value.id == "state":
+            used.add(node.attr)
+        elif isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name) \
+                and node.value.id == "state":
+            sl = node.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+                used.add(sl.value)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            used.add(node.value)
+    return used
+
+
+def _const_keys_read(tree: ast.AST) -> Set[str]:
+    """Constant names read as ``const["X"]`` / ``const.get("X")``."""
+    keys: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name) \
+                and node.value.id == "const":
+            sl = node.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+                keys.add(sl.value)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "const" and node.func.attr == "get":
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                keys.add(node.args[0].value)
+    return keys
+
+
+def _reachable_values(fn: Callable, seen: Optional[Set[int]] = None) -> List[Any]:
+    """Closure-cell and referenced-global values reachable from ``fn``,
+    recursing through referenced functions (helpers like the Raft spec's
+    ``fold_update_term`` hide constant uses one call deep)."""
+    if seen is None:
+        seen = set()
+    if id(fn) in seen or getattr(fn, "__code__", None) is None:
+        return []
+    seen.add(id(fn))
+    raw: List[Any] = []
+    closure = getattr(fn, "__closure__", None) or ()
+    for cell in closure:
+        try:
+            raw.append(cell.cell_contents)
+        except ValueError:
+            pass  # empty cell
+    fn_globals = getattr(fn, "__globals__", {})
+    for name in fn.__code__.co_names:
+        if name in fn_globals:
+            raw.append(fn_globals[name])
+    values: List[Any] = []
+    for value in raw:
+        if inspect.isfunction(value):
+            values.extend(_reachable_values(value, seen))
+        else:
+            values.append(value)
+    return values
+
+
+def _safe_eq(a: Any, b: Any) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _helper_domain_target(domain: Any, helper: str) -> Optional[str]:
+    """The closed-over name when ``domain`` came from the given DSL
+    helper (``from_constant`` / ``in_flight``)."""
+    qualname = getattr(domain, "__qualname__", "")
+    if not qualname.startswith(f"{helper}.<locals>"):
+        return None
+    closure = getattr(domain, "__closure__", None)
+    if not closure:
+        return None
+    try:
+        value = closure[0].cell_contents
+    except ValueError:
+        return None
+    return value if isinstance(value, str) else None
+
+
+@register
+class UnreferencedVariableRule(Rule):
+    code = "MCK001"
+    name = "unreferenced-variable"
+    severity = Severity.WARNING
+    description = ("A declared variable is never referenced by any action: "
+                   "only Init ever assigns it, so it is dead state that "
+                   "still inflates the state space and the mapping burden.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        used: Set[str] = set()
+        unresolved = False
+        for name, decl in ctx.spec.actions.items():
+            tree = _fn_source_ast(decl.fn)
+            if tree is None:
+                unresolved = True
+                continue
+            used |= _state_names_used(tree)
+        if unresolved:
+            return  # cannot see every action: stay silent, not wrong
+        for name, decl in ctx.spec.variables.items():
+            if name not in used:
+                yield self.finding(
+                    f"variable {name!r} ({decl.kind.value}) is never "
+                    f"referenced by any action",
+                    obj=f"spec.{ctx.spec.name}/variable.{name}")
+
+
+@register
+class UnknownConstantDomainRule(Rule):
+    code = "MCK002"
+    name = "unknown-constant-domain"
+    severity = Severity.ERROR
+    description = ("An action parameter quantifies over "
+                   "``from_constant(name)`` for a constant the spec never "
+                   "declares; every binding evaluation will raise KeyError.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, decl in ctx.spec.actions.items():
+            file, line = _fn_location(decl.fn)
+            for pname, domain in decl.params.items():
+                const = _helper_domain_target(domain, "from_constant")
+                if const is not None and const not in ctx.spec.constants:
+                    yield self.finding(
+                        f"action {name!r} parameter {pname!r} quantifies over "
+                        f"undeclared constant {const!r}",
+                        file=file, line=line,
+                        obj=f"spec.{ctx.spec.name}/action.{name}")
+
+
+@register
+class BadMessageDomainRule(Rule):
+    code = "MCK003"
+    name = "bad-message-domain"
+    severity = Severity.ERROR
+    description = ("An action parameter quantifies over "
+                   "``in_flight(var)`` where ``var`` is undeclared or not "
+                   "a message-kind variable, so the domain is not a bag.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, decl in ctx.spec.actions.items():
+            file, line = _fn_location(decl.fn)
+            for pname, domain in decl.params.items():
+                var = _helper_domain_target(domain, "in_flight")
+                if var is None:
+                    continue
+                var_decl = ctx.spec.variables.get(var)
+                if var_decl is None:
+                    problem = f"undeclared variable {var!r}"
+                elif var_decl.kind is not VarKind.MESSAGE:
+                    problem = (f"variable {var!r} of kind "
+                               f"{var_decl.kind.value!r} (message required)")
+                else:
+                    continue
+                yield self.finding(
+                    f"action {name!r} parameter {pname!r} uses "
+                    f"in_flight over {problem}",
+                    file=file, line=line,
+                    obj=f"spec.{ctx.spec.name}/action.{name}")
+
+
+@register
+class InvariantUnknownVariableRule(Rule):
+    code = "MCK004"
+    name = "invariant-unknown-variable"
+    severity = Severity.ERROR
+    description = ("An invariant reads a state variable the spec never "
+                   "declares; it will raise on the first checked state.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, fn in ctx.spec.invariants.items():
+            tree = _fn_source_ast(fn)
+            if tree is None:
+                continue
+            file, line = _fn_location(fn)
+            reported: Set[str] = set()
+            for node in ast.walk(tree):
+                var: Optional[str] = None
+                if isinstance(node, ast.Attribute) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id == "state":
+                    var = node.attr
+                elif isinstance(node, ast.Subscript) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id == "state" \
+                        and isinstance(node.slice, ast.Constant) \
+                        and isinstance(node.slice.value, str):
+                    var = node.slice.value
+                if var is None or var in reported:
+                    continue
+                if var in ctx.spec.variables or var in _STATE_API:
+                    continue
+                reported.add(var)
+                yield self.finding(
+                    f"invariant {name!r} reads unknown variable {var!r}",
+                    file=file, line=line,
+                    obj=f"spec.{ctx.spec.name}/invariant.{name}")
+
+
+@register
+class UnusedConstantRule(Rule):
+    code = "MCK005"
+    name = "unused-constant"
+    severity = Severity.WARNING
+    description = ("A constant is declared but never read — not via "
+                   "``const[...]``, not through a ``from_constant`` domain, "
+                   "and no action/init/invariant references a value equal "
+                   "to it. Dead model configuration misleads readers.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        spec = ctx.spec
+        read_keys: Set[str] = set()
+        reachable: List[Any] = []
+        for _, fn in _spec_functions(spec):
+            tree = _fn_source_ast(fn)
+            if tree is not None:
+                read_keys |= _const_keys_read(tree)
+            reachable.extend(_reachable_values(fn))
+        for decl in spec.actions.values():
+            for domain in decl.params.values():
+                const = _helper_domain_target(domain, "from_constant")
+                if const is not None:
+                    read_keys.add(const)
+        for name, value in spec.constants.items():
+            if name in read_keys:
+                continue
+            if any(_safe_eq(value, candidate) for candidate in reachable):
+                continue
+            yield self.finding(
+                f"constant {name!r} is declared but never read",
+                obj=f"spec.{spec.name}/constant.{name}")
+
+
+@register
+class ReceiveKindIncompleteRule(Rule):
+    code = "MCK006"
+    name = "receive-kind-incomplete"
+    severity = Severity.ERROR
+    description = ("A MESSAGE_RECEIVE action declares no ``msg_param`` or "
+                   "no ``message_var``: the testbed cannot match the "
+                   "consumed message against the schedule.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, decl in ctx.spec.actions.items():
+            if decl.kind is not ActionKind.MESSAGE_RECEIVE:
+                continue
+            missing = [attr for attr in ("msg_param", "message_var")
+                       if getattr(decl, attr) is None]
+            if missing:
+                file, line = _fn_location(decl.fn)
+                yield self.finding(
+                    f"message-receive action {name!r} declares no "
+                    f"{' / '.join(missing)}",
+                    file=file, line=line,
+                    obj=f"spec.{ctx.spec.name}/action.{name}")
+
+
+@register
+class MessageVarKindRule(Rule):
+    code = "MCK007"
+    name = "message-var-kind"
+    severity = Severity.ERROR
+    description = ("An action's ``message_var`` names a variable whose kind "
+                   "is not MESSAGE; the testbed's message sets only track "
+                   "message-kind bags.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, decl in ctx.spec.actions.items():
+            if decl.message_var is None:
+                continue
+            var_decl = ctx.spec.variables.get(decl.message_var)
+            if var_decl is not None and var_decl.kind is not VarKind.MESSAGE:
+                file, line = _fn_location(decl.fn)
+                yield self.finding(
+                    f"action {name!r} routes messages through "
+                    f"{decl.message_var!r}, which is {var_decl.kind.value}, "
+                    f"not message",
+                    file=file, line=line,
+                    obj=f"spec.{ctx.spec.name}/action.{name}")

@@ -8,6 +8,9 @@ Subcommands mirror the pipeline stages:
 * ``mocket test TARGET``   — controlled testing of a system under test
   against its model, with optional seeded bugs,
 * ``mocket bugs``          — replay all nine Table 2 bug scenarios,
+* ``mocket lint TARGET``   — static conformance analysis of a bundled
+  system (spec + mapping + instrumented source) or bare spec; rule
+  catalogue in docs/ANALYSIS.md,
 * ``mocket trace summarize FILE`` — reload a JSONL trace and print the
   reconstructed per-case timelines.
 
@@ -221,6 +224,26 @@ def _cmd_test(args) -> int:
     return _with_obs(args, command)
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import Severity, lint_target, render_json, render_text
+    from .analysis.targets import all_targets
+
+    names = all_targets() if args.target == "all" else [args.target]
+    worst_hit = False
+    for name in names:
+        try:
+            result = lint_target(name)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(render_json(result) if args.format == "json"
+              else render_text(result))
+        if args.fail_on != "none":
+            threshold = Severity.parse(args.fail_on)
+            if result.unsuppressed(threshold):
+                worst_hit = True
+    return 1 if worst_hit else 0
+
+
 def _cmd_trace(args) -> int:
     if args.trace_command == "summarize":
         reader = TraceReader.from_file(args.file)
@@ -318,6 +341,19 @@ def main(argv: Optional[list] = None) -> int:
 
     p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")
     p_bugs.set_defaults(func=_cmd_bugs)
+
+    p_lint = sub.add_parser(
+        "lint", help="static conformance analysis of a bundled target")
+    p_lint.add_argument(
+        "target",
+        help="a system (toycache|pyxraft|raftkv|minizk), a bare spec "
+             "(example|xraft|zab), or 'all'")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--fail-on", choices=("error", "warning", "none"), default="error",
+        help="exit 1 when unsuppressed findings at/above this severity "
+             "exist (default: error)")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_trace = sub.add_parser("trace", help="work with recorded JSONL traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

@@ -11,13 +11,20 @@ from .annotations import (
     traced_field,
 )
 from .kinds import FaultKind, MessageCheckMode, TriggerKind
-from .registry import ActionMapping, MappingError, SpecMapping, VariableMapping
+from .registry import (
+    ActionMapping,
+    MappingError,
+    MappingProblem,
+    SpecMapping,
+    VariableMapping,
+)
 
 __all__ = [
     "ActionMapping",
     "ActionScope",
     "FaultKind",
     "MappingError",
+    "MappingProblem",
     "MessageCheckMode",
     "SpecMapping",
     "TriggerKind",

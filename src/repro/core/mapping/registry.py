@@ -18,17 +18,53 @@ state variables, unmapped actions, unknown names.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
 
 from ...tlaplus.spec import ActionKind, Specification, VarKind
 from ...tlaplus.values import FrozenDict, freeze
 from .kinds import FaultKind, MessageCheckMode, TriggerKind
 
-__all__ = ["MappingError", "VariableMapping", "ActionMapping", "SpecMapping"]
+__all__ = [
+    "MappingError",
+    "MappingProblem",
+    "VariableMapping",
+    "ActionMapping",
+    "SpecMapping",
+    "UNMAPPED_VARIABLE",
+    "FORBIDDEN_MAPPING",
+    "UNMAPPED_ACTION",
+    "TRIGGER_MISMATCH",
+]
+
+# Problem codes shared with the static linter (``repro.analysis``): the
+# runtime validator and ``mocket lint`` report the same defects under the
+# same stable codes (see docs/ANALYSIS.md).
+UNMAPPED_VARIABLE = "MCK101"
+FORBIDDEN_MAPPING = "MCK102"
+UNMAPPED_ACTION = "MCK103"
+TRIGGER_MISMATCH = "MCK104"
+
+
+class MappingProblem(NamedTuple):
+    """One defect found while checking a mapping against its spec."""
+
+    code: str
+    message: str
 
 
 class MappingError(Exception):
-    """The mapping is incomplete or references unknown spec elements."""
+    """The mapping is incomplete or references unknown spec elements.
+
+    ``problems`` carries every defect found (not just the first one) as
+    :class:`MappingProblem` tuples when the error comes from
+    :meth:`SpecMapping.validate`; it is empty for point errors such as
+    mapping an unknown name.
+    """
+
+    def __init__(self, message: str,
+                 problems: Optional[Sequence[MappingProblem]] = None):
+        super().__init__(message)
+        self.problems: List[MappingProblem] = list(problems or [])
 
 
 class VariableMapping:
@@ -208,33 +244,57 @@ class SpecMapping:
         return self
 
     # -- validation ----------------------------------------------------------------------
-    def validate(self) -> None:
-        """Check the mapping covers the spec (catching developer errors)."""
-        problems = []
+    def problems(self) -> List[MappingProblem]:
+        """Every mapping defect, as ``(code, message)`` tuples.
+
+        This is the single source of truth shared by the runtime
+        :meth:`validate` gate and the static linter's MCK101-MCK104
+        conformance rules.
+        """
+        problems: List[MappingProblem] = []
         for name, decl in self.spec.variables.items():
             if decl.kind in (VarKind.COUNTER, VarKind.AUXILIARY):
                 if name in self.variables and not self.variables[name].skipped:
-                    problems.append(f"variable {name!r} is a {decl.kind.value} and must "
-                                    f"not be mapped")
+                    problems.append(MappingProblem(
+                        FORBIDDEN_MAPPING,
+                        f"variable {name!r} is a {decl.kind.value} and must "
+                        f"not be mapped"))
                 continue
             if decl.kind is VarKind.MESSAGE:
                 continue  # message variables live in the testbed's message sets
             if name not in self.variables:
-                problems.append(f"state variable {name!r} is not mapped (or skipped)")
+                problems.append(MappingProblem(
+                    UNMAPPED_VARIABLE,
+                    f"state variable {name!r} is not mapped (or skipped)"))
         for name, decl in self.spec.actions.items():
             mapping = self.actions.get(name)
             if mapping is None:
-                problems.append(f"action {name!r} is not mapped")
+                problems.append(MappingProblem(
+                    UNMAPPED_ACTION, f"action {name!r} is not mapped"))
                 continue
             if decl.kind is ActionKind.FAULT and mapping.trigger is not TriggerKind.FAULT:
-                problems.append(f"action {name!r} is a fault but mapped as "
-                                f"{mapping.trigger.value}")
+                problems.append(MappingProblem(
+                    TRIGGER_MISMATCH,
+                    f"action {name!r} is a fault but mapped as "
+                    f"{mapping.trigger.value}"))
             if decl.kind is ActionKind.USER_REQUEST and \
                     mapping.trigger is not TriggerKind.USER_REQUEST:
-                problems.append(f"action {name!r} is a user request but mapped as "
-                                f"{mapping.trigger.value}")
+                problems.append(MappingProblem(
+                    TRIGGER_MISMATCH,
+                    f"action {name!r} is a user request but mapped as "
+                    f"{mapping.trigger.value}"))
+        return problems
+
+    def validate(self) -> None:
+        """Check the mapping covers the spec (catching developer errors).
+
+        Collects *every* problem and raises a single :class:`MappingError`
+        whose ``problems`` attribute lists them all.
+        """
+        problems = self.problems()
         if problems:
-            raise MappingError("; ".join(problems))
+            raise MappingError("; ".join(p.message for p in problems),
+                               problems=problems)
 
     # -- queries --------------------------------------------------------------------------
     def checked_variables(self):

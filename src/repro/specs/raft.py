@@ -137,11 +137,15 @@ def build_raft_spec(options: Optional[RaftSpecOptions] = None) -> Specification:
             "MaxTerm": opts.max_term,
             "MaxClientRequests": opts.max_client_requests,
             "MaxRestarts": opts.max_restarts,
-            "MaxDrops": opts.max_drops,
-            "MaxDuplicates": opts.max_duplicates,
             "Quorum": quorum,
         },
     )
+    # Budget constants only exist alongside the actions they bound, so a
+    # synchronous model (raftkv) carries no dead drop/duplicate knobs.
+    if opts.enable_drop:
+        spec.constants["MaxDrops"] = opts.max_drops
+    if opts.enable_duplicate:
+        spec.constants["MaxDuplicates"] = opts.max_duplicates
 
     # -- variables (Section 4.1.1 categories) --------------------------------
     spec.add_variable("messages", kind=VarKind.MESSAGE,
@@ -163,11 +167,18 @@ def build_raft_spec(options: Optional[RaftSpecOptions] = None) -> Specification:
     spec.add_variable("electionCtr", kind=VarKind.COUNTER)
     spec.add_variable("requestCtr", kind=VarKind.COUNTER)
     spec.add_variable("restartCtr", kind=VarKind.COUNTER)
-    spec.add_variable("dropCtr", kind=VarKind.COUNTER)
-    spec.add_variable("dupCtr", kind=VarKind.COUNTER)
+    if opts.enable_drop:
+        spec.add_variable("dropCtr", kind=VarKind.COUNTER)
+    if opts.enable_duplicate:
+        spec.add_variable("dupCtr", kind=VarKind.COUNTER)
 
     @spec.init
     def init(const):
+        fault_ctrs = {}
+        if opts.enable_drop:
+            fault_ctrs["dropCtr"] = 0
+        if opts.enable_duplicate:
+            fault_ctrs["dupCtr"] = 0
         return {
             "messages": EMPTY_BAG,
             "currentTerm": {i: 0 for i in servers},
@@ -182,8 +193,7 @@ def build_raft_spec(options: Optional[RaftSpecOptions] = None) -> Specification:
             "electionCtr": 0,
             "requestCtr": 0,
             "restartCtr": 0,
-            "dropCtr": 0,
-            "dupCtr": 0,
+            **fault_ctrs,
         }
 
     # -- helpers ----------------------------------------------------------------

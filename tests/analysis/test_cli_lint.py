@@ -1,0 +1,88 @@
+"""End-to-end tests for ``mocket lint``: exit codes, JSON schema,
+and the bundled targets staying clean."""
+
+import json
+
+import pytest
+
+from repro.analysis import LintContext
+from repro.analysis import targets as targets_mod
+from repro.cli import main
+from repro.core.mapping import SpecMapping
+from .test_conformance_rules import make_spec
+
+SYSTEMS = ("toycache", "pyxraft", "raftkv", "minizk")
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_bundled_systems_pass_fail_on_error(self, system, capsys):
+        assert main(["lint", system, "--fail-on", "error"]) == 0
+
+    def test_all_passes_fail_on_warning(self, capsys):
+        assert main(["lint", "all", "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        for name in SYSTEMS + ("example", "xraft", "zab"):
+            assert f"{name}:" in out
+
+    def test_unknown_target_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit, match="unknown lint target"):
+            main(["lint", "nosuch"])
+
+    def test_defective_target_fails_and_none_disables(self, monkeypatch, capsys):
+        spec = make_spec()
+        broken = LintContext("broken", spec, SpecMapping(spec))
+        monkeypatch.setattr(targets_mod, "resolve", lambda name: broken)
+        assert main(["lint", "broken"]) == 1              # default: error
+        assert main(["lint", "broken", "--fail-on", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "MCK101" in out and "MCK103" in out
+
+    def test_warning_threshold(self, monkeypatch, capsys):
+        from repro.tlaplus.spec import Specification
+
+        spec = Specification("warnful")
+        spec.add_variable("n")
+        spec.add_variable("ghost")
+
+        @spec.init
+        def init(const):
+            return {"n": 0, "ghost": 0}
+
+        @spec.action()
+        def Incr(state, const):
+            return {"n": state.n + 1}
+
+        monkeypatch.setattr(targets_mod, "resolve",
+                            lambda name: LintContext("warnful", spec))
+        assert main(["lint", "warnful"]) == 0               # MCK001 is a warning
+        assert main(["lint", "warnful", "--fail-on", "warning"]) == 1
+
+
+class TestJsonReport:
+    def test_schema_is_stable(self, capsys):
+        assert main(["lint", "toycache", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["target"] == "toycache"
+        assert set(document) == {"version", "target", "rules_run",
+                                 "findings", "summary"}
+        assert set(document["summary"]) == {"errors", "warnings",
+                                            "suppressed", "total"}
+
+    def test_findings_carry_full_shape(self, capsys):
+        # raftkv has one (suppressed) MCK204 finding to exercise the shape
+        assert main(["lint", "raftkv", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        [finding] = [f for f in document["findings"] if f["code"] == "MCK204"]
+        assert set(finding) == {"code", "severity", "message", "file",
+                                "line", "object", "suppressed"}
+        assert finding["suppressed"] is True
+        assert finding["severity"] == "warning"
+        assert finding["file"].endswith("node.py")
+
+    def test_text_report_mentions_suppression(self, capsys):
+        assert main(["lint", "raftkv"]) == 0
+        out = capsys.readouterr().out
+        assert "(suppressed)" in out
+        assert "1 suppressed" in out

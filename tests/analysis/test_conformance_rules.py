@@ -1,0 +1,160 @@
+"""Mapping-level conformance rules (MCK101-MCK105) and the shared
+``SpecMapping.problems`` source of truth."""
+
+import pytest
+
+from repro.analysis import LintContext, run_lint
+from repro.core.mapping import MappingError, SpecMapping
+from repro.tlaplus.spec import ActionKind, Specification, VarKind
+
+
+def make_spec():
+    spec = Specification("fix")
+    spec.add_variable("n")
+    spec.add_variable("c", kind=VarKind.COUNTER)
+
+    @spec.init
+    def init(const):
+        return {"n": 0, "c": 0}
+
+    @spec.action()
+    def Incr(state, const):
+        return {"n": state.n + 1, "c": state.c}
+
+    @spec.action(kind=ActionKind.FAULT)
+    def Crash(state, const):
+        return {"c": state.c + 1}
+
+    @spec.action(kind=ActionKind.USER_REQUEST)
+    def Ask(state, const):
+        return {"n": 0}
+
+    return spec
+
+
+def make_mapping(spec):
+    return (SpecMapping(spec)
+            .map_variable("n", "shadowN")
+            .map_action("Incr")
+            .map_crash("Crash")
+            .map_user_request("Ask", run=lambda cluster, params, occurrence: None))
+
+
+def lint_codes(spec, mapping):
+    result = run_lint(LintContext("fixture", spec, mapping))
+    return [f.code for f in result.findings]
+
+
+class TestMappingRules:
+    def test_complete_mapping_is_clean(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        assert lint_codes(spec, mapping) == []
+        mapping.validate()  # does not raise
+
+    def test_mck101_unmapped_variable(self):
+        spec = make_spec()
+        mapping = (SpecMapping(spec)
+                   .map_action("Incr").map_crash("Crash")
+                   .map_user_request("Ask", run=lambda c, p, o: None))
+        assert lint_codes(spec, mapping) == ["MCK101"]
+
+    def test_mck102_forbidden_counter_mapping(self):
+        spec = make_spec()
+        mapping = make_mapping(spec).map_variable("c", "shadowC")
+        assert lint_codes(spec, mapping) == ["MCK102"]
+
+    def test_mck103_unmapped_action(self):
+        spec = make_spec()
+        mapping = (SpecMapping(spec)
+                   .map_variable("n", "shadowN")
+                   .map_crash("Crash")
+                   .map_user_request("Ask", run=lambda c, p, o: None))
+        assert lint_codes(spec, mapping) == ["MCK103"]
+
+    def test_mck104_fault_mapped_as_spontaneous(self):
+        spec = make_spec()
+        mapping = (SpecMapping(spec)
+                   .map_variable("n", "shadowN")
+                   .map_action("Incr").map_action("Crash")
+                   .map_user_request("Ask", run=lambda c, p, o: None))
+        assert lint_codes(spec, mapping) == ["MCK104"]
+
+    def test_mck104_user_request_mapped_as_spontaneous(self):
+        spec = make_spec()
+        mapping = (SpecMapping(spec)
+                   .map_variable("n", "shadowN")
+                   .map_action("Incr").map_crash("Crash").map_action("Ask"))
+        assert lint_codes(spec, mapping) == ["MCK104"]
+
+
+class TestValidateAggregation:
+    """Satellite: validate() reports *all* problems in one MappingError."""
+
+    def test_empty_mapping_reports_every_problem(self):
+        spec = make_spec()
+        mapping = SpecMapping(spec)
+        with pytest.raises(MappingError) as excinfo:
+            mapping.validate()
+        problems = excinfo.value.problems
+        assert sorted(p.code for p in problems) == \
+            ["MCK101", "MCK103", "MCK103", "MCK103"]
+        # the message carries every problem, ";"-joined
+        assert str(excinfo.value).count(";") == len(problems) - 1
+        for problem in problems:
+            assert problem.message in str(excinfo.value)
+
+    def test_linter_and_validate_agree(self):
+        spec = make_spec()
+        mapping = SpecMapping(spec).map_action("Ask")  # wrong trigger too
+        with pytest.raises(MappingError) as excinfo:
+            mapping.validate()
+        runtime_codes = sorted(p.code for p in excinfo.value.problems)
+        static_codes = sorted(c for c in lint_codes(spec, mapping)
+                              if c.startswith("MCK1"))
+        assert runtime_codes == static_codes
+
+    def test_point_errors_have_no_problem_list(self):
+        spec = make_spec()
+        with pytest.raises(MappingError) as excinfo:
+            SpecMapping(spec).map_variable("nope")
+        assert excinfo.value.problems == []
+
+
+class TestTranslatorArity:
+    def test_mck105_to_spec_wrong_arity(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        mapping.map_variable("n", "shadowN", to_spec=lambda: 0)
+        assert lint_codes(spec, mapping) == ["MCK105"]
+
+    def test_mck105_compare_wrong_arity(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        mapping.map_variable("n", "shadowN", compare=lambda a: True)
+        assert lint_codes(spec, mapping) == ["MCK105"]
+
+    def test_mck105_derive_wrong_arity(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        mapping.map_variable("n", "shadowN", derive=lambda cluster: 0)
+        assert lint_codes(spec, mapping) == ["MCK105"]
+
+    def test_mck105_run_wrong_arity(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        mapping.map_user_request("Ask", run=lambda cluster: None)
+        assert lint_codes(spec, mapping) == ["MCK105"]
+
+    def test_mck105_duplicate_wrong_arity(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        mapping.map_duplicate("Crash", duplicate=lambda msg: None)
+        assert lint_codes(spec, mapping) == ["MCK105"]
+
+    def test_varargs_and_builtins_accepted(self):
+        spec = make_spec()
+        mapping = make_mapping(spec)
+        mapping.map_variable("n", "shadowN", to_spec=len,
+                             compare=lambda *args: True)
+        assert lint_codes(spec, mapping) == []

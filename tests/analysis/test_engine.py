@@ -1,0 +1,144 @@
+"""Engine-level tests: registry, severities, suppressions, LintResult."""
+
+import pytest
+
+from repro.analysis import (
+    Finding, LintContext, LintResult, Rule, Severity, all_rules, run_lint,
+)
+from repro.analysis.engine import register
+from repro.analysis.findings import apply_suppressions
+from repro.tlaplus.spec import Specification
+
+
+def make_spec(name="fixture"):
+    spec = Specification(name)
+    spec.add_variable("n")
+
+    @spec.init
+    def init(const):
+        return {"n": 0}
+
+    @spec.action()
+    def Incr(state, const):
+        return {"n": state.n + 1}
+
+    return spec
+
+
+class TestRegistry:
+    def test_all_rules_codes_unique_and_sorted(self):
+        rules = all_rules()
+        codes = [rule.code for rule in rules]
+        assert len(codes) == len(set(codes))
+        assert codes == sorted(codes)
+
+    def test_catalogue_has_at_least_ten_codes(self):
+        assert len(all_rules()) >= 10
+
+    def test_every_rule_is_documented(self):
+        for rule in all_rules():
+            assert rule.code.startswith("MCK")
+            assert rule.name
+            assert rule.description
+            assert isinstance(rule.severity, Severity)
+            assert rule.requires
+
+    def test_duplicate_code_rejected(self):
+        existing = all_rules()[0].code
+
+        with pytest.raises(ValueError, match="duplicate"):
+            @register
+            class Clone(Rule):
+                code = existing
+                name = "clone"
+
+    def test_missing_code_rejected(self):
+        with pytest.raises(ValueError, match="no code"):
+            @register
+            class Anonymous(Rule):
+                name = "anonymous"
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse_roundtrip(self):
+        for sev in Severity:
+            assert Severity.parse(str(sev)) is sev
+        assert Severity.parse("ERROR") is Severity.ERROR
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestSuppressions:
+    def _finding(self, path, line, code="MCK203"):
+        return Finding(code=code, severity=Severity.ERROR, message="m",
+                       file=str(path), line=line)
+
+    def test_bare_ignore_suppresses_any_code(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1  # mocket: ignore\n")
+        [finding] = apply_suppressions([self._finding(src, 1)])
+        assert finding.suppressed
+
+    def test_coded_ignore_matches(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1  # mocket: ignore[MCK203, MCK105]\n")
+        [finding] = apply_suppressions([self._finding(src, 1)])
+        assert finding.suppressed
+
+    def test_coded_ignore_other_code_does_not_match(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1  # mocket: ignore[MCK001]\n")
+        [finding] = apply_suppressions([self._finding(src, 1)])
+        assert not finding.suppressed
+
+    def test_unanchored_finding_never_suppressed(self):
+        finding = Finding(code="MCK101", severity=Severity.ERROR, message="m")
+        [out] = apply_suppressions([finding])
+        assert not out.suppressed
+
+    def test_missing_file_and_bad_line_are_harmless(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1\n")
+        findings = [self._finding(tmp_path / "gone.py", 1),
+                    self._finding(src, 99)]
+        assert not any(f.suppressed for f in apply_suppressions(findings))
+
+
+class TestEngine:
+    def test_spec_only_context_skips_conformance_rules(self):
+        result = run_lint(LintContext("fixture", make_spec()))
+        assert result.rules_run == 7  # MCK001-MCK007 only
+
+    def test_clean_fixture_has_no_findings(self):
+        result = run_lint(LintContext("fixture", make_spec()))
+        assert result.findings == []
+        assert result.counts() == {"errors": 0, "warnings": 0,
+                                   "suppressed": 0, "total": 0}
+
+    def test_unsuppressed_threshold(self):
+        result = LintResult("t", findings=[
+            Finding("MCK001", Severity.WARNING, "w"),
+            Finding("MCK101", Severity.ERROR, "e"),
+            Finding("MCK203", Severity.ERROR, "s", suppressed=True),
+        ])
+        assert [f.code for f in result.errors] == ["MCK101"]
+        assert [f.code for f in result.warnings] == ["MCK001"]
+        assert [f.code for f in result.suppressed] == ["MCK203"]
+        assert len(result.unsuppressed(Severity.WARNING)) == 2
+
+    def test_finding_as_dict_keys(self):
+        finding = Finding("MCK001", Severity.WARNING, "w", file="f.py",
+                          line=3, obj="spec.s/variable.n")
+        assert finding.as_dict() == {
+            "code": "MCK001", "severity": "warning", "message": "w",
+            "file": "f.py", "line": 3, "object": "spec.s/variable.n",
+            "suppressed": False,
+        }

@@ -1,0 +1,234 @@
+"""Implementation-level conformance rules (MCK201-MCK206), run over
+``ast``-extracted models of synthetic instrumented sources."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ImplModel, LintContext, Severity, run_lint
+from .test_conformance_rules import make_mapping, make_spec
+
+GOOD_SOURCE = """
+class Node:
+    n = traced_field("shadowN")
+
+    def __init__(self):
+        self.n = 0
+
+    @mocket_action("Incr", ("i",))
+    def incr(self):
+        self.n += 1
+
+    @mocket_action("Ask")
+    def ask(self):
+        self.n = 0
+"""
+
+
+def model_of(tmp_path, source, name="node.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    return ImplModel.from_package(str(tmp_path))
+
+
+def full_context(tmp_path, source):
+    spec = make_spec()
+    return LintContext("fixture", spec, make_mapping(spec),
+                       model_of(tmp_path, source))
+
+
+def lint_codes(ctx):
+    return [f.code for f in run_lint(ctx).findings]
+
+
+class TestImplModel:
+    def test_extraction(self, tmp_path):
+        model = model_of(tmp_path, GOOD_SOURCE)
+        assert model.shadow_names == {"shadowN"}
+        assert model.hook_actions == {"Incr", "Ask"}
+        [tf] = model.traced_fields
+        assert (tf.attr, tf.spec_name, tf.class_name) == ("n", "shadowN", "Node")
+        assert model.shadow_writes == []
+
+    def test_clean_source_lints_clean(self, tmp_path):
+        assert lint_codes(full_context(tmp_path, GOOD_SOURCE)) == []
+
+
+class TestMissingShadowField:
+    def test_mck201_unrealized_impl_name(self, tmp_path):
+        spec = make_spec()
+        mapping = make_mapping(spec).map_variable("n", "shadowGone")
+        ctx = LintContext("fixture", spec, mapping,
+                          model_of(tmp_path, GOOD_SOURCE))
+        # the stale traced_field("shadowN") now also dangles
+        assert lint_codes(ctx) == ["MCK201", "MCK205"]
+
+    def test_skipped_and_derived_variables_need_no_shadow(self, tmp_path):
+        # the minizk "online" pattern: the value comes from the deployment
+        # (derive), so no traced field exists for it anywhere in the source
+        source = """
+        class Node:
+            @mocket_action("Incr")
+            def incr(self):
+                pass
+
+            @mocket_action("Ask")
+            def ask(self):
+                pass
+        """
+        spec = make_spec()
+        mapping = (make_mapping(spec)
+                   .map_variable("n", "anything",
+                                 derive=lambda cluster, node_id: 0))
+        assert lint_codes(LintContext("fixture", spec, mapping,
+                                      model_of(tmp_path, source))) == []
+
+
+class TestMissingActionHook:
+    def test_mck202_user_request_without_hook(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("shadowN")
+
+            def __init__(self):
+                self.n = 0
+
+            @mocket_action("Incr")
+            def incr(self):
+                self.n += 1
+        """
+        assert lint_codes(full_context(tmp_path, source)) == ["MCK202"]
+
+    def test_fault_actions_need_no_hook(self, tmp_path):
+        # GOOD_SOURCE has no "Crash" hook yet lints clean: the mapping
+        # drives Crash as an injected fault
+        assert lint_codes(full_context(tmp_path, GOOD_SOURCE)) == []
+
+
+class TestShadowWrite:
+    def test_mck203_seeded_violation_is_caught(self, tmp_path):
+        # the acceptance scenario: state mutated behind the testbed's back
+        source = GOOD_SOURCE + """
+    def sneaky(self):
+        self.n = 99
+"""
+        ctx = full_context(tmp_path, source)
+        result = run_lint(ctx)
+        [finding] = result.findings
+        assert finding.code == "MCK203"
+        assert finding.severity is Severity.ERROR
+        assert "sneaky" in finding.message
+        assert finding.file.endswith("node.py")
+        assert not finding.suppressed
+
+    def test_init_writes_are_covered(self, tmp_path):
+        assert model_of(tmp_path, GOOD_SOURCE).shadow_writes == []
+
+    def test_action_span_covers_its_block_only(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("shadowN")
+
+            def incr(self):
+                with action_span(self, "Incr", {}):
+                    self.n += 1
+                self.n = 0
+        """
+        [write] = model_of(tmp_path, source).shadow_writes
+        assert write.method == "incr"
+        # the flagged write is the reset *after* the span, not the one inside
+        lines = textwrap.dedent(source).splitlines()
+        assert lines[write.line - 1].strip() == "self.n = 0"
+
+    def test_helper_called_only_from_hooks_is_covered(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("shadowN")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self._bump()
+
+            @mocket_action("Ask")
+            def ask(self):
+                self._bump()
+
+            def _bump(self):
+                self.n += 1
+        """
+        assert model_of(tmp_path, source).shadow_writes == []
+
+    def test_helper_with_uncovered_caller_is_flagged(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("shadowN")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self._bump()
+
+            def rogue(self):
+                self._bump()
+
+            def _bump(self):
+                self.n += 1
+        """
+        [write] = model_of(tmp_path, source).shadow_writes
+        assert write.method == "_bump"
+
+    def test_inline_suppression(self, tmp_path):
+        source = GOOD_SOURCE + """
+    def sneaky(self):
+        self.n = 99  # mocket: ignore[MCK203]
+"""
+        result = run_lint(full_context(tmp_path, source))
+        [finding] = result.findings
+        assert finding.suppressed
+        assert result.unsuppressed() == []
+
+
+class TestUnknownHookAction:
+    def test_mck204_hook_for_undeclared_action(self, tmp_path):
+        source = GOOD_SOURCE + """
+    @mocket_action("Mystery")
+    def mystery(self):
+        pass
+"""
+        result = run_lint(full_context(tmp_path, source))
+        [finding] = result.findings
+        assert finding.code == "MCK204"
+        assert finding.severity is Severity.WARNING
+
+
+class TestDanglingTracedField:
+    def test_mck205_traced_field_nobody_reads(self, tmp_path):
+        source = GOOD_SOURCE.replace(
+            'n = traced_field("shadowN")',
+            'n = traced_field("shadowN")\n    x = traced_field("extra")')
+        assert lint_codes(full_context(tmp_path, source)) == ["MCK205"]
+
+    def test_mck205_record_var_nobody_reads(self, tmp_path):
+        source = GOOD_SOURCE + """
+    @mocket_action("Incr2")
+    def incr2(self):
+        record_var(self, "extra2", 1)
+"""
+        codes = lint_codes(full_context(tmp_path, source))
+        # the synthetic hook also trips MCK204; MCK205 is what we're after
+        assert codes.count("MCK205") == 1
+
+
+class TestBadMessageUse:
+    def test_mck206_get_msg_with_unknown_variable(self, tmp_path):
+        source = GOOD_SOURCE.replace(
+            "self.n += 1",
+            'self.n += 1\n        get_msg(self, "nope", kind="x")')
+        assert lint_codes(full_context(tmp_path, source)) == ["MCK206"]
+
+    def test_mck206_receive_decorator_with_state_variable(self, tmp_path):
+        # "n" is a state variable, not a message bag
+        source = GOOD_SOURCE + """
+    @mocket_receive("Incr", "n", ("m",), "m")
+    def recv(self, m):
+        pass
+"""
+        assert lint_codes(full_context(tmp_path, source)) == ["MCK206"]

@@ -1,0 +1,22 @@
+"""Slow guard: linting the heaviest bundled target stays under 2 s."""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import lint_bench  # noqa: E402  (benchmarks/ is not a package)
+
+
+@pytest.mark.slow
+class TestLintPerfGuard:
+    def test_pyxraft_lint_under_threshold(self):
+        results = lint_bench.measure(repeats=3)
+        assert results["best_s"] <= lint_bench.DEFAULT_THRESHOLD_S, results
+
+    def test_guard_script_exits_clean(self, capsys):
+        assert lint_bench.main(["--repeats", "1"]) == 0
+        assert "OK" in capsys.readouterr().out

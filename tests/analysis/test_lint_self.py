@@ -1,0 +1,19 @@
+"""Slow self-lint gate: every bundled target must stay free of
+unsuppressed findings (docs/ANALYSIS.md documents the workflow)."""
+
+import pytest
+
+from repro.analysis import Severity, lint_target
+from repro.analysis.targets import all_targets
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("target", all_targets())
+def test_bundled_target_lints_clean(target):
+    result = lint_target(target)
+    errors = result.unsuppressed(Severity.ERROR)
+    assert errors == [], \
+        f"{target}: unsuppressed errors: {[f.message for f in errors]}"
+    warnings = result.unsuppressed(Severity.WARNING)
+    assert warnings == [], \
+        f"{target}: unsuppressed warnings: {[f.message for f in warnings]}"
