@@ -16,7 +16,10 @@ Subcommands mirror the pipeline stages:
 
 ``check``, ``testgen`` and ``test`` all take ``--trace FILE`` (write a
 JSONL trace of the run) and ``--metrics`` (print the metrics table at
-the end); see docs/OBSERVABILITY.md.
+the end); see docs/OBSERVABILITY.md.  They also take the engine flags
+``--workers N`` (parallel exploration — and, for ``test``, parallel
+case execution), ``--checkpoint DIR`` and ``--resume``; see
+docs/ENGINE.md.
 
 Models: ``example``, ``xraft``, ``raftkv``, ``zab``.
 Targets: ``toycache``, ``pyxraft``, ``raftkv``, ``minizk``.
@@ -155,11 +158,20 @@ def _with_obs(args, command) -> int:
         _obs_end(args)
 
 
+def _check_kwargs(args) -> dict:
+    """Engine flags (--workers/--checkpoint/--resume) for check()."""
+    return dict(workers=args.workers, checkpoint=args.checkpoint,
+                resume=args.resume)
+
+
 def _cmd_check(args) -> int:
     def command() -> int:
         spec = _build_model(args.model)
-        result = check(spec, max_states=args.max_states, truncate=True)
+        result = check(spec, max_states=args.max_states, truncate=True,
+                       **_check_kwargs(args))
         print(result.summary())
+        if args.checkpoint:
+            print(f"checkpoint directory: {args.checkpoint}")
         if args.dot:
             write_dot(result.graph, args.dot)
             print(f"state-space graph written to {args.dot}")
@@ -171,7 +183,8 @@ def _cmd_check(args) -> int:
 def _cmd_testgen(args) -> int:
     def command() -> int:
         spec = _build_model(args.model)
-        graph = check(spec, max_states=args.max_states, truncate=True).graph
+        graph = check(spec, max_states=args.max_states, truncate=True,
+                      **_check_kwargs(args)).graph
         suite_ec = generate_test_cases(graph, por=False)
         suite_por = generate_test_cases(graph, por=True, seed=args.seed)
         print(f"model: {graph.num_states} states, {graph.num_edges} edges")
@@ -198,7 +211,8 @@ def _cmd_test(args) -> int:
 
     def command() -> int:
         spec, mapping, cluster_factory = _target_kit(target, args.bug)
-        graph = check(spec, max_states=args.max_states, truncate=True).graph
+        graph = check(spec, max_states=args.max_states, truncate=True,
+                      **_check_kwargs(args)).graph
         if args.suite:
             from .core.testgen import TestSuite
 
@@ -212,7 +226,7 @@ def _cmd_test(args) -> int:
               f"({'buggy: ' + ','.join(args.bug) if args.bug else 'correct'})")
         started = time.monotonic()
         outcome = tester.run_suite(suite, stop_on_divergence=args.stop_on_bug,
-                                   max_cases=args.cases)
+                                   max_cases=args.cases, workers=args.workers)
         elapsed = time.monotonic() - started
         print(f"{outcome.summary()} ({elapsed:.1f}s wall clock)")
         for failing in outcome.failures[:5]:
@@ -307,10 +321,22 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
 
+    def add_engine_flags(p) -> None:
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="explore/run with N parallel worker processes "
+                            "(default: 1, the serial path)")
+        p.add_argument("--checkpoint", metavar="DIR",
+                       help="snapshot checking progress to DIR after "
+                            "every BFS level")
+        p.add_argument("--resume", action="store_true",
+                       help="continue checking from the latest snapshot "
+                            "in --checkpoint DIR")
+
     p_check = sub.add_parser("check", help="model-check a built-in model")
     p_check.add_argument("model")
     p_check.add_argument("--max-states", type=int, default=100_000)
     p_check.add_argument("--dot", help="dump the state-space graph to this file")
+    add_engine_flags(p_check)
     add_obs_flags(p_check)
     p_check.set_defaults(func=_cmd_check)
 
@@ -321,6 +347,7 @@ def main(argv: Optional[list] = None) -> int:
     p_gen.add_argument("--show", type=int, default=0,
                        help="print the first N generated cases")
     p_gen.add_argument("--out", help="save the EC+POR suite to a JSON file")
+    add_engine_flags(p_gen)
     add_obs_flags(p_gen)
     p_gen.set_defaults(func=_cmd_testgen)
 
@@ -336,6 +363,7 @@ def main(argv: Optional[list] = None) -> int:
     p_test.add_argument("--no-por", action="store_true")
     p_test.add_argument("--suite", help="run a suite saved by 'testgen --out'")
     p_test.add_argument("--stop-on-bug", action="store_true")
+    add_engine_flags(p_test)
     add_obs_flags(p_test)
     p_test.set_defaults(func=_cmd_test)
 

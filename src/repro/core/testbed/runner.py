@@ -70,7 +70,15 @@ class ControlledTester:
 
     # -- suite ------------------------------------------------------------------
     def run_suite(self, suite: TestSuite, stop_on_divergence: bool = False,
-                  max_cases: Optional[int] = None) -> SuiteResult:
+                  max_cases: Optional[int] = None,
+                  workers: int = 1) -> SuiteResult:
+        if workers != 1:
+            # lazy: repro.engine builds on this module
+            from ...engine import run_suite_parallel
+
+            return run_suite_parallel(self, suite, workers=workers,
+                                      stop_on_divergence=stop_on_divergence,
+                                      max_cases=max_cases)
         with TRACER.span("runner.suite", cases=len(suite)) as suite_span:
             if TRACER.enabled:
                 # pre-register so the table always shows every kind, 0 included

@@ -1,0 +1,121 @@
+"""Checkpoint/resume storage for long exploration runs.
+
+A :class:`CheckpointStore` persists the explorer's complete progress —
+interned states, the per-source successor lists, the unexpanded
+frontier and run metadata — after every BFS level, so that a long
+``mocket check``/``testgen`` run killed at level *k* resumes from level
+*k* instead of restarting.
+
+Format (``mocket-checkpoint/1``), one directory per run:
+
+* ``checkpoint.json`` — the latest snapshot, written atomically
+  (temp file + ``os.replace``) so a crash mid-write never corrupts the
+  resumable state.  Fields:
+
+  - ``format``/``spec``/``level``/``complete`` — identity and progress,
+  - ``states`` — ``[[fingerprint, encoded_state], ...]`` in discovery
+    order, values encoded with the DOT tagged-literal encoding
+    (:mod:`repro.tlaplus.dot`), so checkpoints are plain JSON and
+    independent of Python pickling,
+  - ``init`` — fingerprints of the initial states, in ``Init`` order,
+  - ``succ`` — ``[[src_fp, [[action, encoded_params, dst_fp], ...]],
+    ...]`` preserving the spec's ``enabled()`` emission order, which is
+    what makes the rebuilt graph bit-identical to a serial run,
+  - ``frontier`` — fingerprints absorbed but not yet expanded,
+  - ``stats`` — states/edges/elapsed counters for progress reporting.
+
+* ``history.jsonl`` — one appended line per saved level (level, states,
+  frontier, wall seconds) for post-hoc inspection of exploration rate.
+
+Fingerprints are redundant with the encoded states (they are recomputed
+and verified on load) — they double as an integrity check on the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = ["CheckpointError", "CheckpointStore"]
+
+FORMAT = "mocket-checkpoint/1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is missing, corrupt, or mismatched."""
+
+
+class CheckpointStore:
+    """Atomic JSON snapshots of exploration progress in one directory."""
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, "checkpoint.json")
+
+    @property
+    def history_path(self) -> str:
+        return os.path.join(self.directory, "history.jsonl")
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- writing -----------------------------------------------------------
+    def save(self, payload: Dict[str, Any]) -> None:
+        """Atomically replace the snapshot and append a history line."""
+        payload = dict(payload)
+        payload["format"] = FORMAT
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix="checkpoint-", suffix=".tmp", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        with open(self.history_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "level": payload.get("level"),
+                "states": len(payload.get("states", ())),
+                "frontier": len(payload.get("frontier", ())),
+                "complete": payload.get("complete", False),
+                "elapsed_seconds": payload.get("stats", {}).get(
+                    "elapsed_seconds"),
+            }) + "\n")
+
+    # -- reading -----------------------------------------------------------
+    def load(self, spec_name: Optional[str] = None) -> Dict[str, Any]:
+        """Read and validate the latest snapshot.
+
+        ``spec_name`` guards against resuming a checkpoint of a
+        different model into the wrong run.
+        """
+        if not self.exists():
+            raise CheckpointError(
+                f"no checkpoint found at {self.path!r}; "
+                f"run once with --checkpoint before --resume")
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path!r}: {exc}") from exc
+        if payload.get("format") != FORMAT:
+            raise CheckpointError(
+                f"{self.path!r} is not a {FORMAT} checkpoint "
+                f"(format={payload.get('format')!r})")
+        if spec_name is not None and payload.get("spec") != spec_name:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} is for spec "
+                f"{payload.get('spec')!r}, not {spec_name!r}")
+        return payload
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({self.directory!r})"

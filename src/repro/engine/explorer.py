@@ -1,0 +1,682 @@
+"""Sharded, level-synchronous parallel state-space exploration.
+
+This is the engine's substitute for :class:`~repro.tlaplus.checker.
+ModelChecker` when ``workers > 1`` or checkpointing is requested — the
+same design TLC's multi-worker explorer uses, adapted to Python's
+process model:
+
+* the fingerprint space is **hash-partitioned** across ``workers``
+  shards (:func:`~repro.engine.fingerprint.shard_of`); shard *i* owns
+  the seen-set and the unexpanded frontier of every state whose
+  fingerprint lands in partition *i*,
+* exploration is **level-synchronous BFS**: each round, every shard
+  expands its local frontier, buckets the successors by owning shard,
+  and the master exchanges the batched buckets; owners deduplicate
+  against their seen-sets (with exact-state verification, so a 64-bit
+  fingerprint collision raises instead of corrupting the graph), check
+  invariants on new states and grow their frontiers,
+* the master keeps the authoritative record — interned states, the
+  per-source successor lists in ``enabled()`` emission order, initial
+  fingerprints — and, at the end, **replays** a serial FIFO BFS over
+  that record to build the :class:`StateGraph`.  The replay makes graph
+  numbering a pure function of exploration *content*: every worker
+  count yields a bit-identical graph (states, edges, ids, edge order),
+  and any two runs are equivalent under
+  :func:`~repro.engine.canon.canonicalize`.
+
+Workers are forked processes (``fork`` start method, so specs with
+closure-based actions need no pickling); where ``fork`` is unavailable
+the shards run in-process with identical semantics.  ``workers=1`` is
+the in-process degenerate case used for checkpointing serial runs.
+
+Differences from the serial checker, by design (all deterministic):
+
+* ``max_states`` truncation is **level-granular**: the level that
+  crosses the budget is kept in full, then exploration stops — the
+  serial checker instead refuses individual states mid-level,
+* on an invariant violation with ``stop_on_violation=True``, the level
+  where the violation was found is completed first; among the level's
+  violations the engine reports the one with the smallest canonical
+  state encoding (the serial checker stops at its first, discovery-
+  ordered hit).
+
+A :class:`~repro.engine.checkpoint.CheckpointStore` may be attached to
+snapshot progress after every level; ``resume=True`` continues from the
+latest snapshot (see ``docs/ENGINE.md`` for the format).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import METRICS, TRACER
+from ..tlaplus.checker import CheckResult, ModelChecker
+from ..tlaplus.dot import decode_value, encode_value
+from ..tlaplus.errors import CheckingBudgetExceeded, InvariantViolation
+from ..tlaplus.graph import StateGraph
+from ..tlaplus.spec import Specification
+from ..tlaplus.state import ActionLabel, State
+from .checkpoint import CheckpointStore
+from .fingerprint import (
+    FingerprintCollision,
+    canonical_state,
+    canonical_value,
+    encode_canonical,
+    fingerprint_state,
+    shard_of,
+)
+
+__all__ = ["EngineError", "EngineFallbackWarning", "ShardedExplorer",
+           "explore", "fork_available"]
+
+
+class EngineError(RuntimeError):
+    """A worker process died or broke the exchange protocol."""
+
+
+class EngineFallbackWarning(UserWarning):
+    """Parallel workers were requested but process support is missing."""
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# Successor record: (ActionLabel, successor fingerprint), in the exact
+# order Specification.enabled() emitted them.
+_SuccList = List[Tuple[ActionLabel, int]]
+
+
+class _Shard:
+    """One hash partition: seen-set + frontier for ``fp % shards == index``."""
+
+    __slots__ = ("spec", "index", "shards", "seen", "frontier")
+
+    def __init__(self, spec: Specification, index: int, shards: int):
+        self.spec = spec
+        self.index = index
+        self.shards = shards
+        self.seen: Dict[int, State] = {}
+        self.frontier: List[int] = []
+
+    def seed(self, entries: List[Tuple[int, State]],
+             frontier_fps: List[int]) -> None:
+        """Install checkpointed states (already invariant-checked)."""
+        frontier_set = set(frontier_fps)
+        for fingerprint, state in entries:
+            self.seen[fingerprint] = state
+            if fingerprint in frontier_set:
+                self.frontier.append(fingerprint)
+
+    def absorb(self, candidates: List[Tuple[int, State]]):
+        """Deduplicate candidate successors against the seen-set.
+
+        Returns ``(new, violations)`` where ``new`` is the accepted
+        ``(fingerprint, state)`` pairs in candidate order and
+        ``violations`` the ``(invariant, fingerprint)`` pairs among
+        them.  Candidates arrive canonicalized from :meth:`expand`.
+        """
+        new: List[Tuple[int, State]] = []
+        violations: List[Tuple[str, int]] = []
+        for fingerprint, state in candidates:
+            existing = self.seen.get(fingerprint)
+            if existing is not None:
+                if existing != state:
+                    raise FingerprintCollision(
+                        f"fingerprint {fingerprint:#018x} maps to two "
+                        f"distinct states of spec {self.spec.name!r}")
+                continue
+            self.seen[fingerprint] = state
+            self.frontier.append(fingerprint)
+            new.append((fingerprint, state))
+            invariant = self.spec.check_invariants(state)
+            if invariant is not None:
+                violations.append((invariant, fingerprint))
+        return new, violations
+
+    def expand(self):
+        """Expand the local frontier one level.
+
+        Returns ``(succ_lists, buckets)``: the per-source successor
+        records and, per destination shard, the locally-deduplicated
+        ``(fingerprint, state)`` candidates.
+        """
+        succ_lists: List[Tuple[int, _SuccList]] = []
+        buckets: List[Dict[int, State]] = [dict() for _ in range(self.shards)]
+        for fingerprint in self.frontier:
+            state = self.seen[fingerprint]
+            successors: _SuccList = []
+            for label, successor in self.spec.enabled(state):
+                succ_fp = fingerprint_state(successor)
+                successors.append((label, succ_fp))
+                bucket = buckets[shard_of(succ_fp, self.shards)]
+                if succ_fp not in bucket:
+                    bucket[succ_fp] = canonical_state(successor)
+            succ_lists.append((fingerprint, successors))
+        self.frontier = []
+        return succ_lists, [list(bucket.items()) for bucket in buckets]
+
+
+# ---------------------------------------------------------------------------
+# Backends: where the shards live.
+# ---------------------------------------------------------------------------
+
+class _InlineBackend:
+    """All shards in the calling process (workers=1 or no fork support)."""
+
+    parallel = False
+
+    def __init__(self, spec: Specification, shards: int):
+        self.shards = [_Shard(spec, index, shards) for index in range(shards)]
+
+    def seed(self, per_shard_entries, frontier_fps) -> None:
+        for shard, entries in zip(self.shards, per_shard_entries):
+            shard.seed(entries, frontier_fps)
+
+    def expand(self):
+        replies = []
+        for shard in self.shards:
+            started = time.perf_counter()
+            succ_lists, buckets = shard.expand()
+            replies.append((shard.index, succ_lists, buckets,
+                            time.perf_counter() - started, len(shard.seen)))
+        return replies
+
+    def absorb(self, per_shard_candidates):
+        replies = []
+        for shard, candidates in zip(self.shards, per_shard_candidates):
+            started = time.perf_counter()
+            new, violations = shard.absorb(candidates)
+            replies.append((shard.index, new, violations,
+                            time.perf_counter() - started, len(shard.seen)))
+        return replies
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(shard: _Shard, task_queue, result_queue) -> None:
+    """Worker process main loop: serve expand/absorb/seed requests."""
+    try:
+        while True:
+            message = task_queue.get()
+            operation = message[0]
+            if operation == "stop":
+                break
+            started = time.perf_counter()
+            if operation == "seed":
+                shard.seed(message[1], message[2])
+                result_queue.put(("seeded", shard.index, None, None,
+                                  time.perf_counter() - started,
+                                  len(shard.seen)))
+            elif operation == "expand":
+                succ_lists, buckets = shard.expand()
+                result_queue.put(("expanded", shard.index, succ_lists, buckets,
+                                  time.perf_counter() - started,
+                                  len(shard.seen)))
+            elif operation == "absorb":
+                new, violations = shard.absorb(message[1])
+                result_queue.put(("absorbed", shard.index, new, violations,
+                                  time.perf_counter() - started,
+                                  len(shard.seen)))
+            else:
+                result_queue.put(("error", shard.index,
+                                  f"unknown operation {operation!r}"))
+                break
+    except BaseException:
+        result_queue.put(("error", shard.index, traceback.format_exc()))
+
+
+class _ForkBackend:
+    """One forked process per shard, batched exchange through queues.
+
+    The spec (with its closure-based actions) crosses into workers via
+    ``fork`` inheritance, never via pickling; only states, labels and
+    fingerprints travel through the queues.
+    """
+
+    parallel = True
+
+    def __init__(self, spec: Specification, shards: int):
+        context = multiprocessing.get_context("fork")
+        self._result_queue = context.Queue()
+        self._task_queues = [context.SimpleQueue() for _ in range(shards)]
+        self._processes = []
+        self.shard_count = shards
+        for index in range(shards):
+            process = context.Process(
+                target=_shard_worker,
+                args=(_Shard(spec, index, shards),
+                      self._task_queues[index], self._result_queue),
+                daemon=True,
+                name=f"mocket-shard-{index}",
+            )
+            process.start()
+            self._processes.append(process)
+
+    def _send(self, index: int, message) -> None:
+        if not self._processes[index].is_alive():
+            raise EngineError(
+                f"shard worker {index} died "
+                f"(exit code {self._processes[index].exitcode})")
+        self._task_queues[index].put(message)
+
+    def _gather(self, tag: str):
+        replies: Dict[int, tuple] = {}
+        while len(replies) < self.shard_count:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                missing = set(range(self.shard_count)) - set(replies)
+                dead = [index for index in missing
+                        if not self._processes[index].is_alive()]
+                if dead:
+                    raise EngineError(
+                        f"shard worker(s) {dead} died while the master "
+                        f"waited for {tag!r} replies")
+                continue
+            if message[0] == "error":
+                raise EngineError(
+                    f"shard worker {message[1]} failed:\n{message[2]}")
+            if message[0] != tag:
+                raise EngineError(
+                    f"protocol error: expected {tag!r} reply, "
+                    f"got {message[0]!r}")
+            replies[message[1]] = message
+        return [replies[index][1:] for index in sorted(replies)]
+
+    def seed(self, per_shard_entries, frontier_fps) -> None:
+        for index in range(self.shard_count):
+            self._send(index, ("seed", per_shard_entries[index], frontier_fps))
+        self._gather("seeded")
+
+    def expand(self):
+        for index in range(self.shard_count):
+            self._send(index, ("expand",))
+        return [(index, succ, buckets, busy, seen)
+                for index, succ, buckets, busy, seen in self._gather("expanded")]
+
+    def absorb(self, per_shard_candidates):
+        for index in range(self.shard_count):
+            self._send(index, ("absorb", per_shard_candidates[index]))
+        return [(index, new, violations, busy, seen)
+                for index, new, violations, busy, seen in self._gather("absorbed")]
+
+    def close(self) -> None:
+        for index, process in enumerate(self._processes):
+            if process.is_alive():
+                try:
+                    self._task_queues[index].put(("stop",))
+                except (OSError, ValueError):
+                    pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        self._result_queue.close()
+
+
+# ---------------------------------------------------------------------------
+# The master.
+# ---------------------------------------------------------------------------
+
+class ShardedExplorer:
+    """Master of the sharded exploration; produces a :class:`CheckResult`."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        workers: int = 1,
+        max_states: Optional[int] = None,
+        truncate: bool = False,
+        stop_on_violation: bool = True,
+        checkpoint=None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.spec = spec
+        self.workers = workers
+        self.max_states = max_states
+        self.truncate = truncate
+        self.stop_on_violation = stop_on_violation
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            self.store: Optional[CheckpointStore] = checkpoint
+        else:
+            self.store = CheckpointStore(checkpoint)
+        if resume and self.store is None:
+            raise ValueError("resume=True requires a checkpoint store")
+        self.resume = resume
+        self.checkpoint_every = checkpoint_every
+        # master record (fingerprint-keyed, discovery-ordered)
+        self._states: Dict[int, State] = {}
+        self._succ: Dict[int, _SuccList] = {}
+        self._init_fps: List[int] = []
+        self._frontier: List[int] = []
+        # (level, canonical state encoding, invariant, fingerprint)
+        self._violations: List[Tuple[int, bytes, str, int]] = []
+        self._busy: Dict[int, float] = {}
+        self._shard_sizes: Dict[int, int] = {}
+        self._edge_total = 0
+
+    # -- public API --------------------------------------------------------
+    def run(self) -> CheckResult:
+        with TRACER.span("engine.run", spec=self.spec.name,
+                         workers=self.workers,
+                         max_states=self.max_states) as engine_span:
+            result = self._run()
+            engine_span.add(states=result.states_explored,
+                            edges=result.edges_explored,
+                            complete=result.complete, ok=result.ok)
+            return result
+
+    # -- main loop ---------------------------------------------------------
+    def _run(self) -> CheckResult:
+        start = time.monotonic()
+        backend = self._make_backend()
+        try:
+            level, finished = self._bootstrap(backend)
+            if finished:
+                return self._finish(start, level, complete=True)
+            complete = True
+            while self._frontier:
+                if self._violations and self.stop_on_violation:
+                    complete = False
+                    break
+                frontier_size = len(self._frontier)
+                self._frontier = []
+                per_shard = self._expand_round(backend)
+                new_count = self._absorb_round(backend, per_shard, level + 1)
+                level += 1
+                if TRACER.enabled:
+                    TRACER.emit("engine.level", level=level,
+                                frontier=frontier_size, new=new_count,
+                                states=len(self._states),
+                                edges=self._edge_total)
+                over_budget = (self.max_states is not None
+                               and len(self._states) > self.max_states)
+                if over_budget and not self.truncate:
+                    raise CheckingBudgetExceeded(len(self._states),
+                                                 self.max_states)
+                if self.store and level % self.checkpoint_every == 0:
+                    self._save_checkpoint(level, complete=False, start=start)
+                if over_budget:
+                    TRACER.emit("engine.truncated", level=level,
+                                states=len(self._states),
+                                max_states=self.max_states)
+                    complete = False
+                    break
+            if self._violations and self.stop_on_violation:
+                complete = False
+            return self._finish(start, level, complete=complete)
+        finally:
+            backend.close()
+
+    # -- rounds ------------------------------------------------------------
+    def _make_backend(self):
+        if self.workers == 1:
+            return _InlineBackend(self.spec, 1)
+        if not fork_available():
+            warnings.warn(
+                f"the 'fork' start method is unavailable on this platform; "
+                f"running {self.workers} shards in-process "
+                f"(results are identical, just not parallel)",
+                EngineFallbackWarning, stacklevel=3)
+            return _InlineBackend(self.spec, self.workers)
+        return _ForkBackend(self.spec, self.workers)
+
+    def _bootstrap(self, backend) -> Tuple[int, bool]:
+        """Seed level 0 (or restore a checkpoint).
+
+        Returns ``(level, finished)``; ``finished`` is True when a
+        resumed checkpoint was already complete.
+        """
+        if self.resume:
+            # load() raises CheckpointError when nothing is there: the
+            # caller asked to resume, silently starting over would be worse
+            payload = self.store.load(self.spec.name)
+            level = self._restore(payload)
+            if TRACER.enabled:
+                TRACER.emit("engine.resume", level=level,
+                            states=len(self._states),
+                            frontier=len(self._frontier),
+                            complete=bool(payload.get("complete")))
+            if payload.get("complete"):
+                return level, True
+            per_shard: List[List[Tuple[int, State]]] = \
+                [[] for _ in range(self._shard_count())]
+            for fingerprint, state in self._states.items():
+                per_shard[shard_of(fingerprint, len(per_shard))].append(
+                    (fingerprint, state))
+            backend.seed(per_shard, list(self._frontier))
+            return level, False
+        shards = self._shard_count()
+        per_shard = [[] for _ in range(shards)]
+        queued = set()
+        for state in self.spec.initial_states():
+            state = canonical_state(state)
+            fingerprint = fingerprint_state(state)
+            if fingerprint in queued:
+                continue
+            queued.add(fingerprint)
+            self._init_fps.append(fingerprint)
+            per_shard[shard_of(fingerprint, shards)].append(
+                (fingerprint, state))
+        self._absorb_round(backend, per_shard, level=0)
+        if self.store:
+            self._save_checkpoint(0, complete=False,
+                                  start=time.monotonic())
+        return 0, False
+
+    def _shard_count(self) -> int:
+        return 1 if self.workers == 1 else self.workers
+
+    def _expand_round(self, backend) -> List[List[Tuple[int, State]]]:
+        replies = backend.expand()
+        per_shard: List[List[Tuple[int, State]]] = \
+            [[] for _ in range(self._shard_count())]
+        for index, succ_lists, buckets, busy, seen_size in replies:
+            for src_fp, successors in succ_lists:
+                self._succ[src_fp] = successors
+                self._edge_total += len(successors)
+            for destination, bucket in enumerate(buckets):
+                per_shard[destination].extend(bucket)
+            self._busy[index] = self._busy.get(index, 0.0) + busy
+            self._shard_sizes[index] = seen_size
+        return per_shard
+
+    def _absorb_round(self, backend, per_shard, level: int) -> int:
+        replies = backend.absorb(per_shard)
+        new_count = 0
+        for index, new, violations, busy, seen_size in replies:
+            for fingerprint, state in new:
+                self._states[fingerprint] = state
+                self._frontier.append(fingerprint)
+                new_count += 1
+            for invariant, fingerprint in violations:
+                self._violations.append(
+                    (level, encode_canonical(self._states[fingerprint]._vars),
+                     invariant, fingerprint))
+            self._busy[index] = self._busy.get(index, 0.0) + busy
+            self._shard_sizes[index] = seen_size
+        return new_count
+
+    # -- graph assembly ----------------------------------------------------
+    def _build_graph(self):
+        """Replay a serial FIFO BFS over the master record.
+
+        This reproduces, call for call, the order in which the serial
+        checker interns states and inserts edges — so the resulting
+        graph does not depend on how many workers explored it.
+        """
+        graph = StateGraph(self.spec.name)
+        parents: Dict[int, Optional[tuple]] = {}
+        depth: Dict[int, int] = {}
+        fp_to_id: Dict[int, int] = {}
+        order: List[Tuple[int, int]] = []   # (node_id, fingerprint) FIFO
+        # re-canonicalize here, at the single point everything funnels
+        # through: pickle does not preserve set/dict *layout* (it
+        # re-inserts elements in iteration order), so values that were
+        # canonical in a worker may come off the queue with a different
+        # internal order — which would leak into repr/DOT text
+        for fingerprint in self._init_fps:
+            node_id = graph.add_state(
+                canonical_state(self._states[fingerprint]), initial=True)
+            if node_id not in parents:
+                parents[node_id] = None
+                depth[node_id] = 0
+                fp_to_id[fingerprint] = node_id
+                order.append((node_id, fingerprint))
+        cursor = 0
+        while cursor < len(order):
+            node_id, fingerprint = order[cursor]
+            cursor += 1
+            for label, succ_fp in self._succ.get(fingerprint, ()):
+                succ_id = fp_to_id.get(succ_fp)
+                is_new = succ_id is None
+                if is_new:
+                    succ_id = graph.add_state(
+                        canonical_state(self._states[succ_fp]))
+                    fp_to_id[succ_fp] = succ_id
+                graph.add_edge(node_id, succ_id, ActionLabel(
+                    label.name, dict(canonical_value(label.params))))
+                if is_new:
+                    parents[succ_id] = (node_id, label)
+                    depth[succ_id] = depth[node_id] + 1
+                    order.append((succ_id, succ_fp))
+        return graph, parents, depth, fp_to_id
+
+    def _finish(self, start: float, level: int, complete: bool) -> CheckResult:
+        graph, parents, depth, fp_to_id = self._build_graph()
+        violation: Optional[InvariantViolation] = None
+        if self._violations:
+            _, _, invariant, fingerprint = min(self._violations)
+            node_id = fp_to_id[fingerprint]
+            violation = InvariantViolation(
+                invariant, graph.state_of(node_id),
+                ModelChecker.trace_to(graph, parents, node_id))
+            if TRACER.enabled:
+                TRACER.emit("engine.violation", invariant=invariant,
+                            state=node_id, violations=len(self._violations))
+        elapsed = time.monotonic() - start
+        diameter = max(depth.values()) if depth else 0
+        if self.store:
+            self._save_checkpoint(level, complete=complete, start=start)
+        if TRACER.enabled:
+            self._record_metrics(graph, diameter, elapsed, level)
+        return CheckResult(
+            graph=graph,
+            states_explored=graph.num_states,
+            edges_explored=graph.num_edges,
+            elapsed_seconds=elapsed,
+            complete=complete,
+            diameter=diameter,
+            violation=violation,
+        )
+
+    def _record_metrics(self, graph: StateGraph, diameter: int,
+                        elapsed: float, level: int) -> None:
+        METRICS.set_gauge("engine.workers", self.workers)
+        METRICS.set_gauge("engine.levels", level)
+        METRICS.set_gauge("engine.states", graph.num_states)
+        METRICS.set_gauge("engine.edges", graph.num_edges)
+        METRICS.set_gauge(
+            "engine.states_per_sec",
+            graph.num_states / elapsed if elapsed > 0
+            else float(graph.num_states))
+        if self._shard_sizes:
+            sizes = [self._shard_sizes[index]
+                     for index in sorted(self._shard_sizes)]
+            mean = sum(sizes) / len(sizes)
+            METRICS.set_gauge("engine.shard_max", max(sizes))
+            METRICS.set_gauge(
+                "engine.shard_balance",
+                max(sizes) / mean if mean > 0 else 1.0)
+        if self._busy and elapsed > 0:
+            METRICS.set_gauge(
+                "engine.worker_utilization",
+                sum(self._busy.values()) / (elapsed * self._shard_count()))
+        # mirror the serial checker's gauges so --metrics tables line up
+        METRICS.set_gauge("checker.states", graph.num_states)
+        METRICS.set_gauge("checker.edges", graph.num_edges)
+        METRICS.set_gauge("checker.diameter", diameter)
+        METRICS.set_gauge(
+            "checker.states_per_sec",
+            graph.num_states / elapsed if elapsed > 0
+            else float(graph.num_states))
+
+    # -- checkpointing -----------------------------------------------------
+    def _save_checkpoint(self, level: int, complete: bool,
+                         start: float) -> None:
+        started = time.perf_counter()
+        payload = {
+            "spec": self.spec.name,
+            "level": level,
+            "workers": self.workers,
+            "complete": complete,
+            "max_states": self.max_states,
+            "truncate": self.truncate,
+            "states": [[fingerprint, encode_value(state._vars)]
+                       for fingerprint, state in self._states.items()],
+            "init": list(self._init_fps),
+            "succ": [[src_fp,
+                      [[label.name, encode_value(label.params), dst_fp]
+                       for label, dst_fp in successors]]
+                     for src_fp, successors in self._succ.items()],
+            "frontier": list(self._frontier),
+            "violations": [[lvl, invariant, fingerprint]
+                           for lvl, _, invariant, fingerprint
+                           in sorted(self._violations)],
+            "stats": {
+                "states": len(self._states),
+                "edges": self._edge_total,
+                "elapsed_seconds": time.monotonic() - start,
+            },
+        }
+        self.store.save(payload)
+        if TRACER.enabled:
+            TRACER.emit("engine.checkpoint", level=level,
+                        states=len(self._states),
+                        seconds=time.perf_counter() - started,
+                        path=self.store.path)
+
+    def _restore(self, payload: Dict[str, Any]) -> int:
+        for fingerprint, encoded in payload["states"]:
+            state = State(dict(decode_value(encoded)))
+            if fingerprint_state(state) != fingerprint:
+                raise EngineError(
+                    f"checkpoint integrity failure: stored fingerprint "
+                    f"{fingerprint:#018x} does not match the re-encoded "
+                    f"state (corrupt or hand-edited checkpoint?)")
+            self._states[fingerprint] = canonical_state(state)
+        self._succ = {
+            src_fp: [(ActionLabel(name, dict(decode_value(params))), dst_fp)
+                     for name, params, dst_fp in successors]
+            for src_fp, successors in payload["succ"]
+        }
+        self._init_fps = list(payload["init"])
+        self._frontier = list(payload["frontier"])
+        self._violations = [
+            (lvl, encode_canonical(self._states[fingerprint]._vars),
+             invariant, fingerprint)
+            for lvl, invariant, fingerprint in payload.get("violations", ())
+        ]
+        self._edge_total = sum(
+            len(successors) for successors in self._succ.values())
+        return int(payload["level"])
+
+
+def explore(spec: Specification, **kwargs: Any) -> CheckResult:
+    """Convenience wrapper: ``ShardedExplorer(spec, **kwargs).run()``."""
+    return ShardedExplorer(spec, **kwargs).run()

@@ -13,12 +13,21 @@ value shapes, so two runs over the same workload produce comparable
 Metric names in use across the pipeline (see docs/OBSERVABILITY.md):
 
 ``checker.states`` ``checker.edges`` ``checker.states_per_sec``
-``checker.frontier_peak`` ``checker.diameter`` ``testgen.cases``
+``checker.frontier_peak`` ``checker.diameter``
+``checker.refused_successors`` ``testgen.cases``
 ``testgen.actions`` ``testgen.edge_coverage_pct``
 ``por.pruned_edges`` ``scheduler.notifications``
 ``scheduler.queue_wait_seconds`` ``runner.cases`` ``runner.steps``
 ``runner.step_seconds`` ``statecheck.compares``
 ``statecheck.mismatches`` ``divergence.<kind>`` ``fault.injected``
+
+The parallel engine (docs/ENGINE.md) adds:
+
+``engine.workers`` ``engine.levels`` ``engine.states``
+``engine.edges`` ``engine.states_per_sec`` ``engine.shard_max``
+``engine.shard_balance`` ``engine.worker_utilization``
+``engine.executor_workers`` ``engine.cases_per_sec``
+``engine.executor_utilization``
 """
 
 from __future__ import annotations

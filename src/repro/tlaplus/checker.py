@@ -48,6 +48,7 @@ class CheckResult:
         complete: bool,
         diameter: int,
         violation: Optional[InvariantViolation] = None,
+        refused_successors: int = 0,
     ):
         self.graph = graph
         self.states_explored = states_explored
@@ -56,6 +57,9 @@ class CheckResult:
         self.complete = complete          # True iff the full space was exhausted
         self.diameter = diameter          # longest BFS distance from Init (TLC's "depth")
         self.violation = violation
+        # successors refused by the truncate=True state budget; they are
+        # neither states nor edges of the graph and are not counted as such
+        self.refused_successors = refused_successors
 
     @property
     def ok(self) -> bool:
@@ -120,7 +124,8 @@ class ModelChecker:
             checker_span.add(states=result.states_explored,
                              edges=result.edges_explored,
                              complete=result.complete,
-                             ok=result.ok)
+                             ok=result.ok,
+                             refused=result.refused_successors)
             return result
 
     def _run(self) -> CheckResult:
@@ -135,6 +140,7 @@ class ModelChecker:
         frontier = deque()
         violation: Optional[InvariantViolation] = None
         complete = True
+        refused = 0
 
         for state in self.spec.initial_states():
             node_id = graph.add_state(state, initial=True)
@@ -145,7 +151,7 @@ class ModelChecker:
                 violation = self._check_state(graph, parents, node_id)
                 if violation is not None and self.stop_on_violation:
                     return self._finish(graph, start, complete=False, depth=depth,
-                                        violation=violation)
+                                        violation=violation, refused=refused)
 
         edges_explored = 0
         while frontier:
@@ -159,16 +165,24 @@ class ModelChecker:
                 METRICS.gauge("checker.frontier_peak").max(len(frontier) + 1)
             state = graph.state_of(node_id)
             for label, successor in self.spec.enabled(state):
-                edges_explored += 1
                 succ_id = graph.id_of(successor)
                 is_new = succ_id is None
                 if is_new:
                     if self.max_states is not None and graph.num_states >= self.max_states:
                         if self.truncate:
+                            # the refused successor is not part of the graph:
+                            # do not count it as an explored edge either
+                            if complete:
+                                TRACER.emit("checker.truncated",
+                                            states=graph.num_states,
+                                            max_states=self.max_states,
+                                            level=depth[node_id] + 1)
                             complete = False
+                            refused += 1
                             continue
                         raise CheckingBudgetExceeded(graph.num_states, self.max_states)
                     succ_id = graph.add_state(successor)
+                edges_explored += 1
                 graph.add_edge(node_id, succ_id, label)
                 if is_new:
                     parents[succ_id] = (node_id, label)
@@ -177,10 +191,10 @@ class ModelChecker:
                     violation = self._check_state(graph, parents, succ_id)
                     if violation is not None and self.stop_on_violation:
                         return self._finish(graph, start, complete=False, depth=depth,
-                                            violation=violation)
+                                            violation=violation, refused=refused)
 
         return self._finish(graph, start, complete=complete, depth=depth,
-                            violation=violation)
+                            violation=violation, refused=refused)
 
     # -- helpers -------------------------------------------------------------
     def _check_state(self, graph, parents, node_id) -> Optional[InvariantViolation]:
@@ -208,7 +222,8 @@ class ModelChecker:
         steps.reverse()
         return steps
 
-    def _finish(self, graph, start, complete, depth, violation) -> CheckResult:
+    def _finish(self, graph, start, complete, depth, violation,
+                refused: int = 0) -> CheckResult:
         elapsed = time.monotonic() - start
         diameter = max(depth.values()) if depth else 0
         if TRACER.enabled:
@@ -219,6 +234,8 @@ class ModelChecker:
                 "checker.states_per_sec",
                 graph.num_states / elapsed if elapsed > 0 else float(graph.num_states),
             )
+            if refused:
+                METRICS.set_gauge("checker.refused_successors", refused)
         return CheckResult(
             graph=graph,
             states_explored=graph.num_states,
@@ -227,6 +244,7 @@ class ModelChecker:
             complete=complete,
             diameter=diameter,
             violation=violation,
+            refused_successors=refused,
         )
 
 
@@ -235,8 +253,30 @@ def check(
     max_states: Optional[int] = None,
     truncate: bool = False,
     stop_on_violation: bool = True,
+    workers: int = 1,
+    checkpoint=None,
+    resume: bool = False,
 ) -> CheckResult:
-    """Convenience wrapper: model-check ``spec`` and return the result."""
+    """Convenience wrapper: model-check ``spec`` and return the result.
+
+    ``workers > 1`` runs the sharded parallel explorer from
+    :mod:`repro.engine`; ``checkpoint`` (a directory path or
+    :class:`~repro.engine.CheckpointStore`) snapshots progress per BFS
+    level so an interrupted run can continue with ``resume=True``.
+    ``workers=1`` without a checkpoint is the classic serial checker.
+    """
+    if workers != 1 or checkpoint is not None or resume:
+        from ..engine import ShardedExplorer  # lazy: engine builds on this module
+
+        return ShardedExplorer(
+            spec,
+            workers=workers,
+            max_states=max_states,
+            truncate=truncate,
+            stop_on_violation=stop_on_violation,
+            checkpoint=checkpoint,
+            resume=resume,
+        ).run()
     return ModelChecker(
         spec,
         max_states=max_states,

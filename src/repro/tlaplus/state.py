@@ -71,6 +71,11 @@ class State:
         return State(merged)
 
     # -- identity -----------------------------------------------------------------
+    def __reduce__(self):
+        # default slots pickling recurses through __getattr__; rebuild from
+        # the variable mapping instead (freeze passes frozen values through)
+        return (State, (dict(self._vars),))
+
     def __hash__(self) -> int:
         h = self._hash
         if h is None:
@@ -106,6 +111,10 @@ class ActionLabel:
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("ActionLabel is immutable")
+
+    def __reduce__(self):
+        # slots pickling would setattr on an immutable object; rebuild instead
+        return (ActionLabel, (self.name, dict(self.params)))
 
     def __hash__(self) -> int:
         return self._hash

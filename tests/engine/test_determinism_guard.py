@@ -1,0 +1,77 @@
+"""Determinism guard (the engine's core contract, pinned as a test):
+
+for real models — raft and zab — and multiple testgen seeds, a parallel
+exploration must yield the *same canonical graph* and the *same suite
+JSON* as the serial one.  A regression here silently invalidates every
+downstream artifact (suites, replays, bug reports), so these tests are
+deliberately end-to-end.
+"""
+
+import io
+
+import pytest
+
+from repro.core import generate_test_cases
+from repro.engine import ShardedExplorer, canonical_signature, graphs_equivalent
+from repro.specs.raft import RaftSpecOptions, build_raft_spec
+from repro.specs.zab import ZabSpecOptions, build_zab_spec
+from repro.tlaplus import check
+from repro.tlaplus.dot import to_dot
+
+# scaled-down models (seconds, not minutes, per exploration)
+RAFT_OPTS = dict(
+    servers=("n1", "n2", "n3"), max_term=1, max_client_requests=0,
+    enable_restart=True, max_restarts=1,
+    enable_drop=False, enable_duplicate=False,
+    candidates=("n1",), name="raft-guard",
+)
+ZAB_OPTS = dict(
+    servers=("n1", "n2"), max_elections=2, max_crashes=0, max_restarts=0,
+    starters=("n1",), name="zab-guard",
+)
+
+
+def _build(model):
+    if model == "raft":
+        return build_raft_spec(RaftSpecOptions(**RAFT_OPTS))
+    return build_zab_spec(ZabSpecOptions(**ZAB_OPTS))
+
+
+@pytest.fixture(scope="module")
+def explorations():
+    """(serial graph, workers=1 graph, workers=4 graph) per model."""
+    out = {}
+    for model in ("raft", "zab"):
+        spec = _build(model)
+        out[model] = (
+            check(spec).graph,
+            ShardedExplorer(spec, workers=1).run().graph,
+            ShardedExplorer(spec, workers=4).run().graph,
+        )
+    return out
+
+
+def _suite_json(graph, seed):
+    buffer = io.StringIO()
+    generate_test_cases(graph, por=True, seed=seed).save(buffer)
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("model", ["raft", "zab"])
+class TestDeterminismGuard:
+    def test_parallel_graph_is_bit_identical_to_workers_1(self, explorations,
+                                                          model):
+        _, one, four = explorations[model]
+        assert to_dot(one) == to_dot(four)
+
+    def test_parallel_graph_matches_serial_canonically(self, explorations,
+                                                       model):
+        serial, _, four = explorations[model]
+        assert canonical_signature(serial) == canonical_signature(four)
+        assert graphs_equivalent(serial, four)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_testgen_suites_identical_across_worker_counts(self, explorations,
+                                                           model, seed):
+        _, one, four = explorations[model]
+        assert _suite_json(one, seed) == _suite_json(four, seed)

@@ -1,0 +1,202 @@
+"""The sharded explorer: parity with the serial checker, budgets,
+violations, checkpoints and resume."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CheckpointStore,
+    EngineError,
+    ShardedExplorer,
+    explore,
+    graphs_equivalent,
+)
+from repro.specs import build_example_spec
+from repro.tlaplus import check
+from repro.tlaplus.checker import ModelChecker
+from repro.tlaplus.dot import to_dot
+from repro.tlaplus.errors import CheckingBudgetExceeded
+from repro.tlaplus.spec import Specification, VarKind
+
+
+def _counter_spec(limit=6, bad=None):
+    """A two-branch counter; ``bad`` marks one value as a violation."""
+    spec = Specification("counter", constants={"Limit": limit, "Bad": bad})
+    spec.add_variable("n", kind=VarKind.STATE)
+    spec.add_variable("tag", kind=VarKind.AUXILIARY)
+
+    @spec.init
+    def init(const):
+        return {"n": 0, "tag": "even"}
+
+    @spec.action()
+    def Incr(state, const):
+        if state.n >= const["Limit"]:
+            return None
+        return {"n": state.n + 1, "tag": "even" if state.n % 2 else "odd"}
+
+    @spec.action()
+    def Reset(state, const):
+        if state.n == 0:
+            return None
+        return {"n": 0, "tag": "even"}
+
+    @spec.invariant()
+    def NotBad(state, const):
+        return const["Bad"] is None or state.n != const["Bad"]
+
+    return spec
+
+
+class TestParity:
+    def test_matches_serial_checker(self):
+        spec = build_example_spec()
+        serial = ModelChecker(spec).run()
+        parallel = ShardedExplorer(spec, workers=2).run()
+        assert parallel.states_explored == serial.states_explored
+        assert parallel.edges_explored == serial.edges_explored
+        assert parallel.diameter == serial.diameter
+        assert parallel.complete
+        assert graphs_equivalent(serial.graph, parallel.graph)
+
+    def test_worker_count_is_invisible(self):
+        spec = build_example_spec()
+        dots = {to_dot(ShardedExplorer(spec, workers=w).run().graph)
+                for w in (1, 2, 3)}
+        # bit-identical graphs, not merely equivalent ones
+        assert len(dots) == 1
+
+    def test_check_dispatches_on_workers(self):
+        spec = build_example_spec()
+        serial = check(spec)
+        parallel = check(spec, workers=2)
+        assert graphs_equivalent(serial.graph, parallel.graph)
+
+    def test_explore_convenience(self):
+        result = explore(build_example_spec(), workers=2)
+        assert result.ok and result.complete
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedExplorer(build_example_spec(), workers=0)
+
+
+class TestViolations:
+    def test_violation_found_and_traced(self):
+        spec = _counter_spec(limit=6, bad=4)
+        result = ShardedExplorer(spec, workers=2).run()
+        assert not result.ok
+        assert result.violation.invariant_name == "NotBad"
+        label, final = result.violation.trace[-1]
+        assert final.n == 4
+        # the trace starts at Init and each step is a real transition
+        first_label, first_state = result.violation.trace[0]
+        assert first_label is None and first_state.n == 0
+
+    def test_same_invariant_as_serial(self):
+        spec = _counter_spec(limit=6, bad=3)
+        serial = ModelChecker(spec).run()
+        parallel = ShardedExplorer(spec, workers=3).run()
+        assert serial.violation.invariant_name == \
+            parallel.violation.invariant_name
+        assert not parallel.complete
+
+    def test_continue_after_violation(self):
+        spec = _counter_spec(limit=6, bad=3)
+        result = ShardedExplorer(spec, workers=2,
+                                 stop_on_violation=False).run()
+        assert not result.ok
+        assert result.complete
+        # full space: n in 0..6
+        assert result.states_explored == 7
+
+
+class TestBudgets:
+    def test_budget_raises_without_truncate(self):
+        spec = _counter_spec(limit=50)
+        with pytest.raises(CheckingBudgetExceeded):
+            ShardedExplorer(spec, workers=2, max_states=10).run()
+
+    def test_budget_truncates_at_level_granularity(self):
+        spec = _counter_spec(limit=50)
+        result = ShardedExplorer(spec, workers=2, max_states=10,
+                                 truncate=True).run()
+        assert not result.complete
+        # the whole crossing level is kept, so >= the budget
+        assert result.states_explored >= 10
+        assert result.states_explored < 51
+
+    def test_exact_fit_is_complete(self):
+        spec = _counter_spec(limit=6)   # exactly 7 states
+        result = ShardedExplorer(spec, workers=2, max_states=7,
+                                 truncate=True).run()
+        assert result.complete
+        assert result.states_explored == 7
+
+
+class TestCheckpointResume:
+    def test_resume_after_truncation_reaches_full_graph(self, tmp_path):
+        spec = _counter_spec(limit=30)
+        full = ShardedExplorer(spec, workers=2).run()
+        store = CheckpointStore(tmp_path / "ck")
+        partial = ShardedExplorer(spec, workers=2, max_states=8,
+                                  truncate=True, checkpoint=store).run()
+        assert not partial.complete
+        resumed = ShardedExplorer(spec, workers=2, checkpoint=store,
+                                  resume=True).run()
+        assert resumed.complete
+        assert graphs_equivalent(full.graph, resumed.graph)
+
+    def test_resume_of_complete_checkpoint_short_circuits(self, tmp_path):
+        spec = _counter_spec(limit=10)
+        store = CheckpointStore(tmp_path / "ck")
+        full = ShardedExplorer(spec, checkpoint=store).run()
+        assert full.complete
+        # a fresh spec whose actions blow up: resume must not explore
+        poisoned = _counter_spec(limit=10)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume re-explored a complete checkpoint")
+
+        poisoned.enabled = boom
+        resumed = ShardedExplorer(poisoned, checkpoint=store,
+                                  resume=True).run()
+        assert resumed.complete
+        assert graphs_equivalent(full.graph, resumed.graph)
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError, match="resume"):
+            ShardedExplorer(build_example_spec(), resume=True)
+
+    def test_checkpoint_path_accepted_as_string(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        result = ShardedExplorer(build_example_spec(),
+                                 checkpoint=directory).run()
+        assert result.complete
+        assert CheckpointStore(directory).exists()
+
+    def test_final_snapshot_is_marked_complete(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        ShardedExplorer(build_example_spec(), checkpoint=store).run()
+        assert store.load("example")["complete"] is True
+
+    def test_corrupted_fingerprint_is_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        ShardedExplorer(build_example_spec(), checkpoint=store).run()
+        payload = store.load()
+        payload["states"][0][0] ^= 1   # flip one fingerprint bit
+        store.save(payload)
+        with pytest.raises(EngineError, match="integrity"):
+            ShardedExplorer(build_example_spec(), checkpoint=store,
+                            resume=True).run()
+
+    def test_history_records_progress(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        ShardedExplorer(_counter_spec(limit=12), checkpoint=store).run()
+        with open(store.history_path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) >= 2
+        states = [line["states"] for line in lines]
+        assert states == sorted(states)
+        assert lines[-1]["complete"] is True

@@ -1,0 +1,121 @@
+"""DOT multiset roundtrips and trace rendering on real model output.
+
+``parse_dot`` may renumber nodes relative to the exporter, so the
+roundtrip contract is *multiset* equality: the same states and the same
+(src state, label, dst state) transitions, regardless of ids.
+"""
+
+from collections import Counter
+
+from repro.engine import graphs_equivalent
+from repro.specs import build_example_spec
+from repro.specs.raft import RaftSpecOptions, build_raft_spec
+from repro.tlaplus import check
+from repro.tlaplus.dot import encode_value, parse_dot, to_dot
+from repro.tlaplus.trace import diff_states, format_trace, format_violation
+from repro.tlaplus.state import ActionLabel, State
+
+
+def _node_multiset(graph):
+    return Counter(encode_value(state._vars) for _, state in graph.states())
+
+
+def _edge_multiset(graph):
+    return Counter(
+        (encode_value(graph.state_of(edge.src)._vars),
+         edge.label.name, encode_value(edge.label.params),
+         encode_value(graph.state_of(edge.dst)._vars))
+        for edge in graph.edges()
+    )
+
+
+def _initial_multiset(graph):
+    return Counter(encode_value(graph.state_of(node_id)._vars)
+                   for node_id in graph.initial_ids)
+
+
+class TestDotMultisetRoundtrip:
+    def test_example_model(self):
+        graph = check(build_example_spec()).graph
+        parsed = parse_dot(to_dot(graph))
+        assert _node_multiset(parsed) == _node_multiset(graph)
+        assert _edge_multiset(parsed) == _edge_multiset(graph)
+        assert _initial_multiset(parsed) == _initial_multiset(graph)
+
+    def test_raft_model(self):
+        spec = build_raft_spec(RaftSpecOptions(
+            servers=("n1", "n2", "n3"), max_term=1, max_client_requests=0,
+            enable_restart=False, enable_drop=False, enable_duplicate=False,
+            candidates=("n1",), name="raft-dot-roundtrip",
+        ))
+        graph = check(spec).graph
+        parsed = parse_dot(to_dot(graph))
+        assert parsed.num_states == graph.num_states
+        assert parsed.num_edges == graph.num_edges
+        assert _node_multiset(parsed) == _node_multiset(graph)
+        assert _edge_multiset(parsed) == _edge_multiset(graph)
+
+    def test_roundtrip_is_canonically_equivalent(self):
+        graph = check(build_example_spec()).graph
+        assert graphs_equivalent(graph, parse_dot(to_dot(graph)))
+
+    def test_double_roundtrip_is_stable(self):
+        graph = check(build_example_spec()).graph
+        once = parse_dot(to_dot(graph))
+        twice = parse_dot(to_dot(once))
+        assert to_dot(once) == to_dot(twice)
+
+
+class TestTraceRendering:
+    def _violating_trace(self):
+        from repro.tlaplus.spec import Specification, VarKind
+
+        spec = Specification("boom", constants={})
+        spec.add_variable("n", kind=VarKind.STATE)
+
+        @spec.init
+        def init(const):
+            return {"n": 0}
+
+        @spec.action()
+        def Incr(state, const):
+            return None if state.n >= 3 else {"n": state.n + 1}
+
+        @spec.invariant()
+        def Small(state, const):
+            return state.n < 2
+
+        return check(spec).violation
+
+    def test_checker_violation_formats(self):
+        violation = self._violating_trace()
+        text = format_violation(violation)
+        assert "Invariant Small is violated." in text
+        assert "State 1: Initial state" in text
+        assert text.count("Incr") == 2   # two steps to reach n=2
+
+    def test_format_trace_shows_only_changes_by_default(self):
+        trace = [
+            (None, State({"a": 1, "b": 2})),
+            (ActionLabel("Step", {}), State({"a": 1, "b": 3})),
+        ]
+        text = format_trace(trace)
+        lines = text.splitlines()
+        # initial state in full, second step only the changed variable
+        assert "  /\\ a = 1" in lines
+        assert lines.count("  /\\ b = 3") == 1
+        assert sum("a = 1" in line for line in lines) == 1
+
+    def test_format_trace_full_states(self):
+        trace = [
+            (None, State({"a": 1, "b": 2})),
+            (ActionLabel("Step", {}), State({"a": 1, "b": 3})),
+        ]
+        text = format_trace(trace, full_states=True)
+        assert sum("a = 1" in line for line in text.splitlines()) == 2
+
+    def test_diff_states_with_containers(self):
+        before = State({"bag": frozenset(("x",)), "n": 0})
+        after = State({"bag": frozenset(("x", "y")), "n": 0})
+        changed = diff_states(before, after)
+        assert set(changed) == {"bag"}

@@ -1,0 +1,53 @@
+"""Truncation accounting: refused successors are not explored edges.
+
+Regression tests for an over-count in the ``truncate=True`` path: a
+successor refused by the state budget used to bump ``edges_explored``
+even though no edge (and no state) was added to the graph.
+"""
+
+from repro.obs import TRACER
+from repro.specs import build_example_spec
+from repro.tlaplus import check
+
+
+class TestTruncationCounts:
+    def test_edges_explored_matches_graph(self):
+        result = check(build_example_spec(), max_states=5, truncate=True)
+        assert not result.complete
+        assert result.edges_explored == result.graph.num_edges
+
+    def test_refused_successors_are_counted_separately(self):
+        result = check(build_example_spec(), max_states=5, truncate=True)
+        assert result.refused_successors > 0
+        assert result.graph.num_states == 5
+
+    def test_complete_run_refuses_nothing(self):
+        result = check(build_example_spec())
+        assert result.complete
+        assert result.refused_successors == 0
+        assert result.edges_explored == result.graph.num_edges
+
+    def test_truncated_event_emitted_once(self):
+        TRACER.reset()
+        TRACER.configure(enabled=True)
+        try:
+            result = check(build_example_spec(), max_states=5, truncate=True)
+            events = TRACER.events("checker.truncated")
+            assert len(events) == 1
+            assert events[0].fields["states"] == 5
+            assert events[0].fields["max_states"] == 5
+            assert events[0].fields["level"] >= 1
+            assert not result.complete
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+
+    def test_no_truncated_event_on_complete_run(self):
+        TRACER.reset()
+        TRACER.configure(enabled=True)
+        try:
+            check(build_example_spec())
+            assert TRACER.events("checker.truncated") == []
+        finally:
+            TRACER.disable()
+            TRACER.reset()
