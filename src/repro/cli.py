@@ -6,7 +6,12 @@ Subcommands mirror the pipeline stages:
   dumping the state-space graph as DOT (TLC's ``-dump dot``),
 * ``mocket testgen MODEL`` — generate test cases (EC / EC+POR stats),
 * ``mocket test TARGET``   — controlled testing of a system under test
-  against its model, with optional seeded bugs,
+  against its model, with optional seeded bugs and, via ``--faults`` /
+  ``--fault-seed`` / ``--chaos``, seeded fault injection with triage
+  (see docs/FAULTS.md),
+* ``mocket faults``        — the nemesis front end: ``plan`` writes a
+  seeded fault plan, ``run`` plans + executes, ``replay`` re-executes a
+  saved plan, ``scenarios`` replays the bundled chaos scenarios,
 * ``mocket bugs``          — replay all nine Table 2 bug scenarios,
 * ``mocket lint TARGET``   — static conformance analysis of a bundled
   system (spec + mapping + instrumented source) or bare spec; rule
@@ -204,31 +209,66 @@ def _cmd_testgen(args) -> int:
     return _with_obs(args, command)
 
 
+def _load_or_generate_suite(args, graph):
+    if getattr(args, "suite", None):
+        from .core.testgen import TestSuite
+
+        return TestSuite.load(args.suite)
+    return generate_test_cases(graph, por=not args.no_por, seed=args.seed)
+
+
 def _cmd_test(args) -> int:
     target = args.target or args.system
     if target is None:
         raise SystemExit("test: name a target (positional or --system)")
+    want_faults = args.faults or args.chaos
 
     def command() -> int:
         spec, mapping, cluster_factory = _target_kit(target, args.bug)
         graph = check(spec, max_states=args.max_states, truncate=True,
                       **_check_kwargs(args)).graph
-        if args.suite:
-            from .core.testgen import TestSuite
+        if want_faults:
+            # fault planning consumes graph *ordering* (edge indices,
+            # rng-driven edge picks); serial FIFO BFS and the sharded
+            # explorer discover in different orders, so renumber into
+            # the content-only canonical form first — same plan bytes
+            # for any --workers value
+            from .engine import canonicalize
 
-            suite = TestSuite.load(args.suite)
+            graph = canonicalize(graph)
+        suite = _load_or_generate_suite(args, graph)
+        plan = None
+        max_cases = args.cases
+        if want_faults:
+            from .faults import FaultRunner, apply_plan, plan_faults
+
+            # cap the base suite *before* planning, so the appended
+            # derived fault cases run even under --cases
+            suite = suite.truncated(max_cases)
+            max_cases = None
+            node_ids = cluster_factory().node_ids
+            plan = plan_faults(graph, suite, mapping, str(args.fault_seed),
+                               node_ids, chaos=args.chaos, target=target)
+            suite = apply_plan(suite, graph, plan)
+            tester = FaultRunner(mapping, graph, cluster_factory, plan,
+                                 _RUNNER)
+            print(f"fault plan: {plan.summary()}")
         else:
-            suite = generate_test_cases(graph, por=not args.no_por,
-                                        seed=args.seed)
-        tester = ControlledTester(mapping, graph, cluster_factory, _RUNNER)
-        print(f"running up to {args.cases or len(suite)} of {len(suite)} cases "
+            tester = ControlledTester(mapping, graph, cluster_factory, _RUNNER)
+        print(f"running up to {max_cases or len(suite)} of {len(suite)} cases "
               f"against {target} "
               f"({'buggy: ' + ','.join(args.bug) if args.bug else 'correct'})")
         started = time.monotonic()
         outcome = tester.run_suite(suite, stop_on_divergence=args.stop_on_bug,
-                                   max_cases=args.cases, workers=args.workers)
+                                   max_cases=max_cases, workers=args.workers)
         elapsed = time.monotonic() - started
         print(f"{outcome.summary()} ({elapsed:.1f}s wall clock)")
+        if plan is not None:
+            from .faults import render_triage, triage
+
+            payload = triage(outcome, plan)
+            print(render_triage(payload))
+            return 0 if payload["unattributed"] == 0 else 1
         for failing in outcome.failures[:5]:
             print(f"  case #{failing.case.case_id}: "
                   f"{failing.divergence.headline()}")
@@ -236,6 +276,103 @@ def _cmd_test(args) -> int:
         return 0 if outcome.passed else 1
 
     return _with_obs(args, command)
+
+
+def _cmd_faults(args) -> int:
+    from .faults import (
+        FaultPlan, FaultRunner, apply_plan, plan_faults, render_triage, triage,
+    )
+
+    def build_kit():
+        from .engine import canonicalize
+
+        spec, mapping, cluster_factory = _target_kit(args.target, args.bug)
+        # canonical renumbering, as in `mocket test --faults`: plans are
+        # exchangeable between the two verbs and independent of how the
+        # graph was explored
+        graph = canonicalize(
+            check(spec, max_states=args.max_states, truncate=True).graph)
+        suite = _load_or_generate_suite(args, graph)
+        return mapping, cluster_factory, graph, suite
+
+    if args.faults_command == "plan":
+        mapping, cluster_factory, graph, suite = build_kit()
+        plan = plan_faults(graph, suite, mapping, str(args.fault_seed),
+                           cluster_factory().node_ids, chaos=args.chaos,
+                           target=args.target)
+        print(f"fault plan: {plan.summary()}")
+        if args.out:
+            plan.save(args.out)
+            print(f"fault plan written to {args.out}")
+        else:
+            print(plan.to_json(), end="")
+        return 0
+
+    if args.faults_command in ("run", "replay"):
+        def command() -> int:
+            mapping, cluster_factory, graph, suite = build_kit()
+            max_cases = args.cases
+            if args.faults_command == "replay":
+                plan = FaultPlan.load(args.plan)
+            else:
+                suite = suite.truncated(max_cases)
+                max_cases = None
+                plan = plan_faults(graph, suite, mapping,
+                                   str(args.fault_seed),
+                                   cluster_factory().node_ids,
+                                   chaos=args.chaos, target=args.target)
+            suite = apply_plan(suite, graph, plan)
+            print(f"fault plan: {plan.summary()}")
+            tester = FaultRunner(mapping, graph, cluster_factory, plan,
+                                 _RUNNER)
+            outcome = tester.run_suite(suite, max_cases=max_cases,
+                                       workers=args.workers)
+            print(outcome.summary())
+            payload = triage(outcome, plan)
+            print(render_triage(payload))
+            return 0 if payload["unattributed"] == 0 else 1
+
+        return _with_obs(args, command)
+
+    if args.faults_command == "scenarios":
+        from .faults import all_chaos_scenarios
+
+        failures = 0
+        for build in all_chaos_scenarios():
+            scenario = build()
+            if scenario.target == "pyxraft":
+                from .systems.pyxraft import (
+                    XraftConfig, build_xraft_mapping, make_xraft_cluster,
+                )
+
+                config = XraftConfig()
+                mapping = build_xraft_mapping(scenario.spec, config)
+                factory = (lambda servers=scenario.servers, cfg=config:
+                           make_xraft_cluster(servers, cfg))
+            else:
+                from .systems.raftkv import (
+                    RaftKvConfig, build_raftkv_mapping, make_raftkv_cluster,
+                )
+
+                config = RaftKvConfig()
+                mapping = build_raftkv_mapping(scenario.spec, config)
+                factory = (lambda servers=scenario.servers, cfg=config:
+                           make_raftkv_cluster(servers, cfg))
+            tester = FaultRunner(mapping, scenario.graph, factory,
+                                 scenario.plan, _RUNNER)
+            result = tester.run_case(scenario.case)
+            outcome = ("pass" if result.passed
+                       else result.divergence.kind.value)
+            ok = outcome == scenario.expected_kind
+            if not ok:
+                failures += 1
+            detail = ("all clear" if result.passed
+                      else result.divergence.headline())
+            print(f"{scenario.name}: {detail} "
+                  f"[{'as expected' if ok else 'UNEXPECTED'}]")
+        return 1 if failures else 0
+
+    raise SystemExit(f"unknown faults subcommand {args.faults_command!r}")
 
 
 def _cmd_lint(args) -> int:
@@ -321,6 +458,20 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
 
+    def add_fault_seed_flags(p) -> None:
+        p.add_argument("--fault-seed", default="0", metavar="SEED",
+                       help="nemesis seed: same seed => byte-identical "
+                            "fault plan and identical reports (default: 0)")
+        p.add_argument("--chaos", action="store_true",
+                       help="also inject disruptive spec-unmodeled faults "
+                            "(bounce/crash) with convergence-mode checking")
+
+    def add_fault_flags(p) -> None:
+        p.add_argument("--faults", action="store_true",
+                       help="inject modeled + transparent chaos faults "
+                            "while testing (docs/FAULTS.md)")
+        add_fault_seed_flags(p)
+
     def add_engine_flags(p) -> None:
         p.add_argument("--workers", type=int, default=1, metavar="N",
                        help="explore/run with N parallel worker processes "
@@ -363,9 +514,55 @@ def main(argv: Optional[list] = None) -> int:
     p_test.add_argument("--no-por", action="store_true")
     p_test.add_argument("--suite", help="run a suite saved by 'testgen --out'")
     p_test.add_argument("--stop-on-bug", action="store_true")
+    add_fault_flags(p_test)
     add_engine_flags(p_test)
     add_obs_flags(p_test)
     p_test.set_defaults(func=_cmd_test)
+
+    p_faults = sub.add_parser(
+        "faults", help="seeded fault injection (see docs/FAULTS.md)")
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+
+    def add_faults_common(p) -> None:
+        p.add_argument("target",
+                       help="a system under test (toycache|pyxraft|raftkv|minizk)")
+        p.add_argument("--bug", action="append", default=[],
+                       help="seed a bug flag (repeatable)")
+        p.add_argument("--max-states", type=int, default=100_000)
+        p.add_argument("--seed", type=int, default=0,
+                       help="test-generation seed (POR tie-breaking)")
+        p.add_argument("--no-por", action="store_true")
+        p.add_argument("--suite", help="use a suite saved by 'testgen --out'")
+
+    p_fplan = faults_sub.add_parser(
+        "plan", help="derive a seeded fault plan from the state graph")
+    add_faults_common(p_fplan)
+    add_fault_seed_flags(p_fplan)
+    p_fplan.add_argument("--out", help="write the plan JSON to this file")
+    p_fplan.set_defaults(func=_cmd_faults)
+
+    p_frun = faults_sub.add_parser(
+        "run", help="plan + execute fault injection, then triage")
+    add_faults_common(p_frun)
+    add_fault_seed_flags(p_frun)
+    p_frun.add_argument("--cases", type=int, default=None)
+    add_engine_flags(p_frun)
+    add_obs_flags(p_frun)
+    p_frun.set_defaults(func=_cmd_faults)
+
+    p_freplay = faults_sub.add_parser(
+        "replay", help="re-execute a saved fault plan bit-identically")
+    add_faults_common(p_freplay)
+    p_freplay.add_argument("--plan", required=True,
+                           help="a plan written by 'faults plan --out'")
+    p_freplay.add_argument("--cases", type=int, default=None)
+    add_engine_flags(p_freplay)
+    add_obs_flags(p_freplay)
+    p_freplay.set_defaults(func=_cmd_faults)
+
+    p_fscen = faults_sub.add_parser(
+        "scenarios", help="replay the bundled chaos scenarios")
+    p_fscen.set_defaults(func=_cmd_faults, faults_command="scenarios")
 
     p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")
     p_bugs.set_defaults(func=_cmd_bugs)

@@ -1,7 +1,7 @@
 """Divergence reports and test results (Section 4.3.3).
 
 Mocket reports an inconsistency between specification and
-implementation in three situations:
+implementation in four situations:
 
 * **inconsistent state** — the collected runtime values differ from the
   verified state in the test case,
@@ -10,7 +10,11 @@ implementation in three situations:
 * **unexpected action** — a notification that matches no verified
   behaviour (same action with different parameters while the scheduler
   waited, or a leftover notification not enabled in the final verified
-  state when the test case ends).
+  state when the test case ends),
+* **stalled** — under fault injection (:mod:`repro.faults`), a
+  scheduled action still never arrived (or never finished) after every
+  injected fault was healed and the bounded retry/backoff budget was
+  exhausted; the case is reported instead of hanging.
 
 A report cannot by itself distinguish an implementation bug from a
 specification bug — that is the investigator's job (Section 4.3.3), so
@@ -38,6 +42,7 @@ class DivergenceKind(enum.Enum):
     INCONSISTENT_STATE = "inconsistent_state"
     MISSING_ACTION = "missing_action"
     UNEXPECTED_ACTION = "unexpected_action"
+    STALLED = "stalled"
 
 
 class VariableDivergence:
@@ -87,6 +92,8 @@ class Divergence:
             return f"Inconsistent state for variable {names}"
         if self.kind is DivergenceKind.MISSING_ACTION:
             return f"Missing action {self.action}"
+        if self.kind is DivergenceKind.STALLED:
+            return f"Stalled action {self.action}"
         return f"Unexpected action {self.action}"
 
     def __repr__(self) -> str:
@@ -107,6 +114,10 @@ class TestCaseResult:
         self.elapsed_seconds = elapsed_seconds
         # wall time per phase: deploy / steps / check / teardown
         self.phase_seconds: Dict[str, float] = dict(phase_seconds or {})
+        # faults the nemesis injected while this case ran (one summary
+        # string per injection, in injection order); empty without
+        # fault-injection mode
+        self.injected_faults: List[str] = []
 
     @property
     def passed(self) -> bool:
@@ -132,6 +143,7 @@ class TestCaseResult:
             ],
             "pending_notifications": list(self.divergence.pending),
             "detail": self.divergence.detail,
+            "injected_faults": list(self.injected_faults),
         }
 
     def __repr__(self) -> str:

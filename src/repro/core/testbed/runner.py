@@ -155,7 +155,7 @@ class ControlledTester:
                 phases["steps"] = time.monotonic() - phase_start
                 if divergence is None and self.config.check_unexpected:
                     phase_start = time.monotonic()
-                    divergence = self._end_of_case_check(case, runtime)
+                    divergence = self._end_of_case_check(case, runtime, checker)
                     phases["check"] = time.monotonic() - phase_start
         finally:
             phase_start = time.monotonic()
@@ -202,6 +202,13 @@ class ControlledTester:
             divergence = self._run_fault(index, step, runtime, cluster, action)
         if divergence is not None:
             return divergence
+        return self._check_expected(index, step, checker)
+
+    def _check_expected(self, index: int, step: TestStep,
+                        checker: StateChecker) -> Optional[Divergence]:
+        """Per-step expected-state comparison.  Overridden by the fault
+        runner, which relaxes it to end-of-case convergence under
+        spec-unmodeled (chaos) injections."""
         mismatches = checker.compare(step.expected_state)
         if mismatches:
             return Divergence(DivergenceKind.INCONSISTENT_STATE, index,
@@ -325,8 +332,8 @@ class ControlledTester:
         return Divergence(DivergenceKind.MISSING_ACTION, index,
                           action=step.label.name, pending=pending)
 
-    def _end_of_case_check(self, case: TestCase,
-                           runtime: MocketRuntime) -> Optional[Divergence]:
+    def _end_of_case_check(self, case: TestCase, runtime: MocketRuntime,
+                           checker: StateChecker) -> Optional[Divergence]:
         """Leftover notifications must match transitions enabled in the
         final verified state; anything else is an unexpected action."""
         time.sleep(self.config.quiesce_delay)

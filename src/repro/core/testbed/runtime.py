@@ -87,7 +87,7 @@ class MocketRuntime:
                 params[decl.msg_param] = recv_msg
         notification = Notification(
             node.node_id, scope.name, params, recv_msg=recv_msg,
-            msg_var=scope.msg_var,
+            msg_var=scope.msg_var, incarnation=node.incarnation,
         )
         scope.ticket = notification
         node.check_alive()

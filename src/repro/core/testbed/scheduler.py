@@ -28,10 +28,11 @@ class Notification:
 
     __slots__ = ("node_id", "name", "params", "recv_msg", "msg_var",
                  "enable_event", "done_event", "directive", "seq",
-                 "submitted_at")
+                 "submitted_at", "incarnation")
 
     def __init__(self, node_id: str, name: str, params: Dict[str, Any],
-                 recv_msg: Optional[Any] = None, msg_var: Optional[str] = None):
+                 recv_msg: Optional[Any] = None, msg_var: Optional[str] = None,
+                 incarnation: int = 0):
         self.node_id = node_id
         self.name = name
         self.params = FrozenDict({k: freeze(v) for k, v in params.items()})
@@ -42,6 +43,10 @@ class Notification:
         self.directive = "normal"   # set by the scheduler: normal | drop | abort
         self.seq = next(_seq)
         self.submitted_at = 0.0     # set on submit; feeds the queue-wait timer
+        # which restart generation of the node submitted this (0 = never
+        # restarted); pending/stalled summaries use it to tell a
+        # pre-bounce thread's leftovers from the relaunched node's work
+        self.incarnation = incarnation
 
     def label(self) -> ActionLabel:
         return ActionLabel(self.name, dict(self.params))
@@ -51,7 +56,9 @@ class Notification:
 
     def summary(self) -> str:
         base = repr(self.label())
-        return f"{base} on {self.node_id}"
+        node = (f"{self.node_id}#{self.incarnation}" if self.incarnation
+                else self.node_id)
+        return f"{base} on {node}"
 
     def __repr__(self) -> str:
         return f"Notification({self.summary()}, seq={self.seq})"

@@ -177,6 +177,19 @@ class TestSuite:
             "uncovered_edges": self.uncovered_edges,
         }
 
+    def truncated(self, max_cases: Optional[int]) -> "TestSuite":
+        """The first ``max_cases`` cases as a suite (self when no cap).
+
+        Fault planning composes with ``--cases`` through this: the base
+        suite is capped *before* the planner runs, so derived fault
+        cases — appended after the base cases — still execute.
+        """
+        if max_cases is None or max_cases >= len(self.cases):
+            return self
+        return TestSuite(self.cases[:max_cases], graph=self.graph,
+                         excluded_edges=self.excluded_edges,
+                         uncovered_edges=self.uncovered_edges)
+
     # -- persistence ----------------------------------------------------------
     def save(self, path_or_file) -> None:
         """Write the suite (and generation stats) to a JSON file.

@@ -26,6 +26,17 @@ Design mirrors the sharded explorer's backend:
   draining the result queue and surfaces as
   :class:`~repro.engine.explorer.EngineError` instead of a hang.
 
+Tester contract: ``run_case`` must be self-contained — any per-case
+mutable state has to be (re)initialized at case start, because each
+worker runs whole cases serially against its own fork-inherited copy
+of the tester.  The fault runner leans on this: the
+:class:`~repro.faults.FaultPlan` crosses the fork by inheritance
+(planned in the master, read-only here) while nemesis state is reset
+inside ``_run_case``, so an injected schedule produces the same
+divergence report for any worker count.  Results — including
+``TestCaseResult.injected_faults`` — are plain attribute objects and
+pickle back through the result queue unchanged.
+
 Isolation caveat: per-case spans/metrics recorded *inside* a worker
 stay in that worker's process (the observability registries are not
 shared memory).  The master still records suite-level metrics

@@ -1,0 +1,54 @@
+"""``repro.faults`` — the fault-injection nemesis layer.
+
+Turns the controlled-testing testbed from a replayer into an
+adversarial harness: seeded :class:`FaultPlan` generation from the
+verified state graph (:func:`plan_faults` / :func:`apply_plan`), a
+runtime :class:`Nemesis` applying crash / restart / partition / reorder
+faults, a :class:`FaultRunner` with bounded retry and convergence-mode
+checking, and :func:`triage` to attribute the resulting divergences.
+See docs/FAULTS.md.
+"""
+
+from .kinds import (
+    ChaosKind,
+    DISRUPTIVE_KINDS,
+    InjectionMode,
+    TRANSPARENT_KINDS,
+)
+from .nemesis import Nemesis
+from .plan import EdgeRef, FaultInjection, FaultPlan, PLAN_FORMAT
+from .planner import apply_plan, plan_faults
+from .runner import FaultConfig, FaultRunner
+from .scenarios import (
+    ChaosScenario,
+    all_chaos_scenarios,
+    pyxraft_crash_blackout,
+    pyxraft_modeled_message_faults,
+    pyxraft_partition_transparent,
+    raftkv_bounce_leader,
+)
+from .triage import render_triage, triage
+
+__all__ = [
+    "ChaosKind",
+    "InjectionMode",
+    "TRANSPARENT_KINDS",
+    "DISRUPTIVE_KINDS",
+    "PLAN_FORMAT",
+    "EdgeRef",
+    "FaultInjection",
+    "FaultPlan",
+    "plan_faults",
+    "apply_plan",
+    "Nemesis",
+    "FaultConfig",
+    "FaultRunner",
+    "triage",
+    "render_triage",
+    "ChaosScenario",
+    "all_chaos_scenarios",
+    "raftkv_bounce_leader",
+    "pyxraft_crash_blackout",
+    "pyxraft_partition_transparent",
+    "pyxraft_modeled_message_faults",
+]

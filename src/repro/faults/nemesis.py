@@ -1,0 +1,72 @@
+"""The nemesis: applies chaos injections to a live cluster.
+
+One :class:`Nemesis` instance serves one test case (the fault runner
+creates it lazily and discards it at case end).  Every application is
+recorded as a timing-free summary string — these flow into
+``TestCaseResult.injected_faults`` and the triage report — and emitted
+as a ``fault.inject`` trace event with a per-kind counter, mirroring
+the runner's existing ``fault.injected`` events for modeled faults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..obs import METRICS, TRACER
+from .kinds import ChaosKind
+from .plan import FaultInjection
+
+__all__ = ["Nemesis"]
+
+
+class Nemesis:
+    """Applies chaos-mode injections against one deployed cluster."""
+
+    def __init__(self, cluster, runtime, rng: random.Random, case_id: int):
+        self.cluster = cluster
+        self.runtime = runtime
+        self.rng = rng
+        self.case_id = case_id
+        self.applied: List[str] = []
+
+    def apply(self, injection: FaultInjection) -> str:
+        """Apply one injection; returns (and records) its summary."""
+        kind = ChaosKind(injection.kind)
+        effect = ""
+        if kind is ChaosKind.PARTITION:
+            self.cluster.isolate(injection.params["isolate"])
+        elif kind is ChaosKind.REORDER:
+            permuted = self.cluster.network.reorder_inbox(
+                injection.params["node"], self.rng)
+            effect = f" ({permuted} messages permuted)"
+        elif kind is ChaosKind.BOUNCE:
+            node = self.cluster.restart_node(injection.params["node"])
+            self.runtime.snapshot_node(node)
+            effect = f" (incarnation {node.incarnation})"
+        elif kind is ChaosKind.CRASH:
+            node_id = injection.params["node"]
+            if self.cluster.is_up(node_id):
+                self.cluster.crash_node(node_id)
+            else:
+                effect = " (already down)"
+        else:  # pragma: no cover - ChaosKind() above rejects unknown kinds
+            raise ValueError(f"unsupported chaos kind {injection.kind!r}")
+        summary = injection.summary() + effect
+        self.applied.append(summary)
+        if TRACER.enabled:
+            TRACER.emit("fault.inject", case=self.case_id, kind=kind.value,
+                        step=injection.step_index,
+                        params=dict(injection.params))
+            METRICS.counter(f"faults.injected.{kind.value}").inc()
+        return summary
+
+    def heal_all(self) -> int:
+        """Heal any active partition; returns the released message count."""
+        if not self.cluster.network.partitioned:
+            return 0
+        released = self.cluster.heal()
+        if TRACER.enabled:
+            TRACER.emit("fault.heal", case=self.case_id, released=released)
+            METRICS.counter("faults.healed").inc()
+        return released

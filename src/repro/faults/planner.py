@@ -1,0 +1,188 @@
+"""Deriving fault plans from the verified state graph.
+
+``plan_faults`` is pure and seeded: the same ``(graph, suite, mapping,
+seed)`` always yields the same plan, byte-identical once serialized.
+It runs in the master process *before* cases are dispatched to workers,
+so ``--workers N`` cannot perturb planning.
+
+Two families of injection points:
+
+* **modeled** — wherever a test-case path visits a state with an
+  outgoing fault-action edge (``Restart``, ``DropMessage``,
+  ``DuplicateMessage``), the planner may splice that edge in: prefix of
+  the base case, then the fault edge, then a short verified tail.  The
+  derived case is appended to the suite with a fresh id; because it is
+  still a path of the state graph, per-step checking stays sound.
+  Kinds are chosen round-robin (least-used first) so coverage spreads
+  across every fault action the spec offers.
+* **chaos** — spec-unmodeled nemesis operations placed by seeded dice:
+  every eligible base case gets one *transparent* injection
+  (partition / reorder, alternating), and with ``chaos=True`` every
+  other case additionally gets a *disruptive* one (bounce / crash,
+  alternating), which switches that case to convergence-mode checking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.mapping.kinds import TriggerKind
+from ..core.mapping.registry import SpecMapping
+from ..core.testgen.testcase import TestCase, TestSuite
+from ..tlaplus.graph import Edge, StateGraph
+from .kinds import ChaosKind, InjectionMode
+from .plan import EdgeRef, FaultInjection, FaultPlan
+
+__all__ = ["plan_faults", "apply_plan"]
+
+_BENIGN_CYCLE = (ChaosKind.PARTITION, ChaosKind.REORDER)
+_DISRUPTIVE_CYCLE = (ChaosKind.BOUNCE, ChaosKind.CRASH)
+
+
+def _case_rng(seed: str, case_id: int, salt: str = "") -> random.Random:
+    # string seeds hash via sha512 inside random.Random: stable across
+    # processes and independent of PYTHONHASHSEED
+    return random.Random(f"{seed}:{case_id}:{salt}")
+
+
+def plan_faults(
+    graph: StateGraph,
+    suite: TestSuite,
+    mapping: SpecMapping,
+    seed: str,
+    node_ids: Sequence[str],
+    chaos: bool = False,
+    tail_length: int = 2,
+    max_modeled: Optional[int] = None,
+    target: str = "",
+) -> FaultPlan:
+    """Build a deterministic :class:`FaultPlan` for ``suite``."""
+    seed = str(seed)
+    fault_names = {name for name, action in mapping.actions.items()
+                   if action.trigger is TriggerKind.FAULT}
+    injections: List[FaultInjection] = []
+    kind_use: Dict[str, int] = {}
+    next_id = max((case.case_id for case in suite), default=-1) + 1
+
+    # -- modeled splices -----------------------------------------------------
+    for case in suite:
+        if max_modeled is not None and len(injections) >= max_modeled:
+            break
+        chosen = _choose_modeled(graph, case, mapping, fault_names,
+                                 kind_use, _case_rng(seed, case.case_id))
+        if chosen is None:
+            continue
+        position, edge, kind = chosen
+        kind_use[kind] = kind_use.get(kind, 0) + 1
+        tail = _choose_tail(graph, edge.dst, fault_names, tail_length,
+                            _case_rng(seed, case.case_id, "tail"))
+        injections.append(FaultInjection(
+            InjectionMode.MODELED, kind, case.case_id, position,
+            derived_case_id=next_id,
+            edge=EdgeRef(edge.src, edge.dst, edge.label),
+            tail=[EdgeRef(e.src, e.dst, e.label) for e in tail],
+        ))
+        next_id += 1
+
+    # -- chaos dice ----------------------------------------------------------
+    for index, case in enumerate(suite):
+        if len(case.steps) < 2:
+            continue
+        rng = _case_rng(seed, case.case_id, "chaos")
+        kind = _BENIGN_CYCLE[index % len(_BENIGN_CYCLE)]
+        node = node_ids[rng.randrange(len(node_ids))]
+        step = rng.randrange(1, len(case.steps))
+        params = ({"isolate": node} if kind is ChaosKind.PARTITION
+                  else {"node": node})
+        injections.append(FaultInjection(
+            InjectionMode.CHAOS, kind.value, case.case_id, step,
+            params=params))
+        if chaos and index % 2 == 0:
+            disruptive = _DISRUPTIVE_CYCLE[(index // 2) % len(_DISRUPTIVE_CYCLE)]
+            node = node_ids[rng.randrange(len(node_ids))]
+            # an index equal to the case length means "after the last step"
+            step = rng.randrange(1, len(case.steps) + 1)
+            injections.append(FaultInjection(
+                InjectionMode.CHAOS, disruptive.value, case.case_id, step,
+                params={"node": node}))
+
+    return FaultPlan(seed, injections, chaos=chaos, target=target)
+
+
+def _choose_modeled(graph: StateGraph, case: TestCase, mapping: SpecMapping,
+                    fault_names, kind_use: Dict[str, int],
+                    rng: random.Random) -> Optional[Tuple[int, Edge, str]]:
+    """Pick one (position, fault edge, kind) splice point for ``case``."""
+    source_ids = [step.src_id for step in case.steps] + [case.final_id]
+    if any(sid < 0 for sid in source_ids):
+        return None  # suite lacks graph provenance (hand-built steps)
+    by_kind: Dict[str, List[Tuple[int, Edge]]] = {}
+    for position, sid in enumerate(source_ids):
+        for edge in graph.out_edges(sid):
+            if edge.label.name not in fault_names:
+                continue
+            kind = mapping.actions[edge.label.name].fault_kind.value
+            by_kind.setdefault(kind, []).append((position, edge))
+    if not by_kind:
+        return None
+    # least-used kind first, name as the deterministic tie-break
+    kind = min(by_kind, key=lambda k: (kind_use.get(k, 0), k))
+    position, edge = by_kind[kind][rng.randrange(len(by_kind[kind]))]
+    return position, edge, kind
+
+
+def _choose_tail(graph: StateGraph, start: int, fault_names, length: int,
+                 rng: random.Random) -> List[Edge]:
+    """A short verified continuation after the spliced fault edge,
+    preferring non-fault transitions."""
+    tail: List[Edge] = []
+    current = start
+    for _ in range(length):
+        outgoing = graph.out_edges(current)
+        pool = [e for e in outgoing if e.label.name not in fault_names] or outgoing
+        if not pool:
+            break
+        edge = pool[rng.randrange(len(pool))]
+        tail.append(edge)
+        current = edge.dst
+    return tail
+
+
+def apply_plan(suite: TestSuite, graph: StateGraph,
+               plan: FaultPlan) -> TestSuite:
+    """Materialize the plan's modeled splices as appended derived cases.
+
+    Chaos injections need no suite change — the fault runner's nemesis
+    applies them at runtime.  Raises :class:`ValueError` when the plan
+    references cases or edges the suite/graph does not have (a plan
+    replayed against the wrong artifacts).
+    """
+    cases = list(suite)
+    by_id = {case.case_id: case for case in cases}
+    for injection in plan.modeled():
+        base = by_id.get(injection.case_id)
+        if base is None:
+            raise ValueError(f"plan references unknown case "
+                             f"#{injection.case_id}")
+        path: List[Edge] = []
+        for step in base.steps[:injection.step_index]:
+            path.append(_resolve_edge(graph, step.src_id, step.dst_id,
+                                      step.label))
+        ref = injection.edge
+        path.append(_resolve_edge(graph, ref.src, ref.dst, ref.label))
+        for ref in injection.tail:
+            path.append(_resolve_edge(graph, ref.src, ref.dst, ref.label))
+        cases.append(TestCase.from_edges(injection.derived_case_id, graph,
+                                         path))
+    return TestSuite(cases, graph=suite.graph,
+                     excluded_edges=suite.excluded_edges,
+                     uncovered_edges=suite.uncovered_edges)
+
+
+def _resolve_edge(graph: StateGraph, src: int, dst: int, label) -> Edge:
+    edge = graph.edge_between(src, dst, label)
+    if edge is None:
+        raise ValueError(f"plan references edge {src} --{label!r}--> {dst} "
+                         f"not present in the graph")
+    return edge

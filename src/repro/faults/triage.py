@@ -1,0 +1,85 @@
+"""Attributing divergences to injected faults.
+
+A fault-injection run produces divergences of two very different
+natures: those *caused by the nemesis* (a crashed node can never
+notify; a bounced node lost volatile state) and those the faults merely
+*uncovered* (a genuine implementation or specification bug).  Triage
+separates them mechanically:
+
+* a divergence in a **derived case** (a modeled fault splice) is
+  attributed to its splice,
+* a divergence in a chaos-perturbed case is attributed to every
+  injection applied **at or before** the divergence step,
+* everything else is **unattributed** — the interesting output, worth
+  an investigator's time, and the only thing that fails the CLI run.
+
+The triage payload is deliberately timing-free, so two runs with the
+same seed render byte-identical triage (the determinism guard checks
+this across worker counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..core.testbed.report import SuiteResult
+from .plan import FaultPlan
+
+__all__ = ["triage", "render_triage"]
+
+
+def triage(outcome: SuiteResult, plan: FaultPlan) -> Dict[str, Any]:
+    """Build the timing-free triage payload for a fault run."""
+    derived = {injection.derived_case_id: injection
+               for injection in plan.modeled()}
+    failures: List[Dict[str, Any]] = []
+    for result in outcome.failures:
+        divergence = result.divergence
+        case_id = result.case.case_id
+        attributed: List[str] = []
+        if case_id in derived:
+            attributed.append(derived[case_id].summary())
+        for injection in plan.chaos_for(case_id):
+            if injection.step_index <= divergence.step_index:
+                attributed.append(injection.summary())
+        failures.append({
+            "case_id": case_id,
+            "kind": divergence.kind.value,
+            "step_index": divergence.step_index,
+            "action": divergence.action,
+            "headline": divergence.headline(),
+            "injected_faults": list(result.injected_faults),
+            "attributed_to": attributed,
+            "verdict": "fault-induced" if attributed else "unattributed",
+        })
+    return {
+        "seed": plan.seed,
+        "chaos": plan.chaos,
+        "target": plan.target,
+        "cases": len(outcome.results),
+        "divergent": len(failures),
+        "injected": plan.counts_by_kind(),
+        "unattributed": sum(1 for f in failures
+                            if f["verdict"] == "unattributed"),
+        "failures": failures,
+    }
+
+
+def render_triage(payload: Dict[str, Any]) -> str:
+    """Human-readable triage table."""
+    injected = ", ".join(f"{kind}={count}" for kind, count
+                         in payload["injected"].items()) or "none"
+    lines = [
+        f"fault triage (seed {payload['seed']!r}"
+        f"{', chaos' if payload['chaos'] else ''}): "
+        f"{payload['cases']} cases, {payload['divergent']} divergent, "
+        f"{payload['unattributed']} unattributed",
+        f"  injected: {injected}",
+    ]
+    for failure in payload["failures"]:
+        lines.append(f"  case #{failure['case_id']} step "
+                     f"{failure['step_index']}: {failure['headline']} "
+                     f"[{failure['verdict']}]")
+        for summary in failure["attributed_to"]:
+            lines.append(f"    <- {summary}")
+    return "\n".join(lines)

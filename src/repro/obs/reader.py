@@ -15,7 +15,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from .tracer import TraceEvent
 
-__all__ = ["StepRecord", "CaseTimeline", "TraceReader"]
+__all__ = ["StepRecord", "FaultRecord", "CaseTimeline", "TraceReader"]
 
 
 class StepRecord:
@@ -36,12 +36,29 @@ class StepRecord:
         return f"StepRecord(#{self.index} {self.action} {dur} {self.outcome})"
 
 
+class FaultRecord:
+    """One nemesis event (``fault.inject`` / ``fault.heal``) in a case."""
+
+    __slots__ = ("kind", "step", "ts", "detail")
+
+    def __init__(self, kind: str, step: Optional[int], ts: float, detail: str):
+        self.kind = kind            # a ChaosKind value, or "heal"
+        self.step = step            # step boundary it fired at (None for heal)
+        self.ts = ts
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        at = f"@{self.step}" if self.step is not None else ""
+        return f"FaultRecord({self.kind}{at} {self.detail})"
+
+
 class CaseTimeline:
     """The reconstructed timeline of one test case."""
 
     def __init__(self, case_id: int):
         self.case_id = case_id
         self.steps: List[StepRecord] = []
+        self.faults: List[FaultRecord] = []
         self.outcome: str = "unknown"   # "pass" or a DivergenceKind value
         self.ts: Optional[float] = None
         self.dur: Optional[float] = None
@@ -135,6 +152,22 @@ class TraceReader:
                     dur=event.dur,
                     outcome=fields.get("outcome", "ok"),
                 ))
+            elif event.name == "fault.inject" and "case" in fields:
+                params = fields.get("params") or {}
+                detail = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+                timeline(fields["case"]).faults.append(FaultRecord(
+                    kind=fields.get("kind", "?"),
+                    step=fields.get("step"),
+                    ts=event.ts,
+                    detail=detail,
+                ))
+            elif event.name == "fault.heal" and "case" in fields:
+                timeline(fields["case"]).faults.append(FaultRecord(
+                    kind="heal",
+                    step=None,
+                    ts=event.ts,
+                    detail=f"released {fields.get('released', 0)} messages",
+                ))
             elif event.name == "runner.case" and "case" in fields:
                 line = timeline(fields["case"])
                 line.outcome = fields.get("outcome", "unknown")
@@ -165,12 +198,19 @@ class TraceReader:
                 shown = shown[:max_cases]
             for line in shown:
                 dur = f", {line.dur:.3f}s" if line.dur is not None else ""
+                injected = (f", {len(line.faults)} fault events"
+                            if line.faults else "")
                 lines.append(f"  case #{line.case_id}: {line.step_count} steps, "
-                             f"{line.outcome}{dur}")
+                             f"{line.outcome}{dur}{injected}")
                 for step in line.steps:
                     dur = f"{step.dur:.6f}s" if step.dur is not None else "?"
                     lines.append(f"    [{step.index}] {step.action}  {dur}  "
                                  f"{step.outcome}")
+                for fault in line.faults:
+                    at = (f"before step {fault.step}"
+                          if fault.step is not None else "on retry/teardown")
+                    lines.append(f"    !! {fault.kind} {at}"
+                                 f"{'  ' + fault.detail if fault.detail else ''}")
             if max_cases is not None and len(timelines) > max_cases:
                 lines.append(f"  ... {len(timelines) - max_cases} more cases")
         return "\n".join(lines)

@@ -98,6 +98,19 @@ class Cluster:
         self.restart_counts[node_id] += 1
         return self._launch(node_id)
 
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Install a symmetric network partition (see ``Network.partition``)."""
+        self.network.partition(groups)
+
+    def heal(self) -> int:
+        """Heal any partition, releasing held messages; returns the count."""
+        return self.network.heal()
+
+    def isolate(self, node_id: str) -> None:
+        """Partition ``node_id`` away from every other node."""
+        rest = [n for n in self.node_ids if n != node_id]
+        self.partition([[node_id], rest])
+
     # -- context manager -------------------------------------------------------------
     def __enter__(self) -> "Cluster":
         self.deploy()

@@ -19,13 +19,24 @@ before *starting* to handle a dequeued message puts it back with
 
 Messages to node ids that were never part of the cluster go to
 ``dead_letters``.
+
+The network is also the injection point for the nemesis layer
+(:mod:`repro.faults`): a **symmetric partition** splits the node ids
+into groups and *holds* every asynchronous message crossing the cut
+(synchronous RPC fails immediately, like a broken TCP connection);
+:meth:`heal` releases held messages into their mailboxes in send order,
+so a partition delays delivery without losing messages — exactly the
+specification's view, where an in-flight message simply stays in the
+bag longer.  :meth:`reorder_inbox` permutes one mailbox with a seeded
+RNG; the spec's message bag is order-free, so a correct implementation
+must tolerate any permutation.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 __all__ = ["Envelope", "Network", "RpcError"]
 
@@ -58,6 +69,11 @@ class Network:
         self._lock = threading.Lock()
         self.sent_count = 0
         self.dead_letters: List[Envelope] = []
+        # nemesis state: node_id -> partition group index, held envelopes
+        self._partition: Dict[str, int] = {}
+        self._held: List[Envelope] = []
+        self.held_count = 0       # lifetime total of envelopes ever held
+        self.reorder_count = 0    # lifetime total of reorder operations
 
     # -- registration --------------------------------------------------------
     def register(self, node_id: str,
@@ -96,6 +112,10 @@ class Network:
             if inbox is None:
                 self.dead_letters.append(envelope)
                 return False
+            if self._crosses_cut(src, dst):
+                self._held.append(envelope)
+                self.held_count += 1
+                return True  # held, not lost: delivered on heal()
             up = self._up.get(dst, False)
         inbox.put(envelope)
         return up
@@ -130,6 +150,83 @@ class Network:
             inbox = self._inboxes.get(node_id)
         return inbox.qsize() if inbox is not None else 0
 
+    # -- nemesis operations ---------------------------------------------------------
+    def _crosses_cut(self, src: str, dst: str) -> bool:
+        """True when an active partition separates ``src`` from ``dst``.
+
+        Caller must hold ``self._lock``.  Node ids not named in any
+        group (external clients, the testbed itself) see every node.
+        """
+        if not self._partition:
+            return False
+        src_group = self._partition.get(src)
+        dst_group = self._partition.get(dst)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Install a symmetric partition: nodes in different groups
+        cannot exchange messages until :meth:`heal`."""
+        assignment: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id in assignment:
+                    raise ValueError(f"node {node_id!r} is in two groups")
+                assignment[node_id] = index
+        with self._lock:
+            self._partition = assignment
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return bool(self._partition)
+
+    def heal(self) -> int:
+        """Remove the partition and flush held messages, in send order.
+
+        Returns the number of released envelopes.  Envelopes whose
+        destination mailbox disappeared meanwhile go to dead_letters.
+        """
+        with self._lock:
+            self._partition = {}
+            held, self._held = self._held, []
+            inboxes = {e.dst: self._inboxes.get(e.dst) for e in held}
+        for envelope in held:
+            inbox = inboxes[envelope.dst]
+            if inbox is None:
+                self.dead_letters.append(envelope)
+            else:
+                inbox.put(envelope)
+        return len(held)
+
+    def held_snapshot(self) -> List[Envelope]:
+        with self._lock:
+            return list(self._held)
+
+    def reorder_inbox(self, node_id: str, rng) -> int:
+        """Permute ``node_id``'s mailbox with ``rng.shuffle``.
+
+        Returns the number of messages permuted (0 for an empty or
+        unknown mailbox).  The spec's in-flight bag is order-free, so a
+        correct implementation is insensitive to this fault.
+        """
+        with self._lock:
+            inbox = self._inboxes.get(node_id)
+            if inbox is None:
+                return 0
+            backlog: List[Envelope] = []
+            while True:
+                try:
+                    backlog.append(inbox.get_nowait())
+                except queue.Empty:
+                    break
+            rng.shuffle(backlog)
+            for envelope in backlog:
+                inbox.put(envelope)
+            self.reorder_count += 1
+        return len(backlog)
+
     # -- synchronous RPC ------------------------------------------------------------
     def rpc(self, src: str, dst: str, payload: Any) -> Any:
         """Invoke ``dst``'s RPC handler in the caller's thread.
@@ -141,6 +238,9 @@ class Network:
         with self._lock:
             handler = self._rpc_handlers.get(dst)
             self.sent_count += 1
+            cut = self._crosses_cut(src, dst)
+        if cut:
+            raise RpcError(f"rpc {src} -> {dst}: network partition")
         if handler is None:
             self.dead_letters.append(Envelope(src, dst, payload))
             raise RpcError(f"rpc {src} -> {dst}: peer is down")

@@ -136,6 +136,13 @@ class Node:
     def lock(self) -> threading.RLock:
         return self._lock
 
+    @property
+    def incarnation(self) -> int:
+        """How many times this node id has been restarted (0 = first
+        launch).  Fault-injection events carry this so a report can tell
+        which incarnation of a node an injection hit."""
+        return self.cluster.restart_counts.get(self.node_id, 0)
+
     def __repr__(self) -> str:
         status = "up" if self.started else "down"
         return f"{type(self).__name__}({self.node_id}, {status})"

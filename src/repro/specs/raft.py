@@ -105,6 +105,19 @@ class RaftSpecOptions:
         self.spec_bugs = spec_bugs
         self.name = name
 
+    def fault_actions(self) -> tuple:
+        """Names of the fault actions this model enables — the legal
+        modeled-injection vocabulary: ``repro.faults.plan_faults`` can
+        only splice edges labelled with these actions."""
+        names = []
+        if self.enable_restart:
+            names.append("Restart")
+        if self.enable_drop:
+            names.append("DropMessage")
+        if self.enable_duplicate:
+            names.append("DuplicateMessage")
+        return tuple(names)
+
 
 def build_xraft_spec(**kwargs) -> Specification:
     """The Xraft model: asynchronous communication, all faults."""

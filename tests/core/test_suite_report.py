@@ -38,7 +38,7 @@ class TestSuiteBugReport:
     def test_report_counts_divergences_by_kind(self, buggy_outcome):
         counts = buggy_outcome.bug_report()["divergence_counts"]
         assert set(counts) == {"inconsistent_state", "missing_action",
-                               "unexpected_action"}
+                               "unexpected_action", "stalled"}
         assert counts["inconsistent_state"] >= 1
 
     def test_case_reports_carry_elapsed_and_phases(self, buggy_outcome):

@@ -1,0 +1,49 @@
+"""Every intra-repo relative link in the markdown docs must resolve.
+
+A dead relative link is a docs regression: the CI docs job runs this
+module explicitly (alongside the tier-1 matrix) so renames and moved
+files fail fast instead of rotting silently.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+# [text](target) — also matches image links; reference-style links are
+# not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files():
+    files = []
+    for path in sorted(REPO.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            files.append(path)
+    return files
+
+
+def relative_targets(path):
+    for match in LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_repo_has_docs_to_check():
+    names = {p.name for p in markdown_files()}
+    assert {"README.md", "INDEX.md", "TUTORIAL.md", "FAULTS.md"} <= names
+
+
+@pytest.mark.parametrize("md", markdown_files(), ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(md):
+    dead = [target for target in relative_targets(md)
+            if not (md.parent / target).exists()]
+    assert not dead, f"dead relative links in {md.relative_to(REPO)}: {dead}"

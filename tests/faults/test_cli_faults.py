@@ -1,0 +1,91 @@
+"""The `mocket faults` verb and the `--faults` family on `mocket test`.
+
+toycache keeps these fast: a 13-state model whose mapping has no fault
+actions, so plans carry only transparent chaos injections — which a
+correct implementation must shrug off (heal-on-retry), making exit
+codes and triage output easy to pin down.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan
+
+
+class TestFaultsPlan:
+    def test_plan_writes_canonical_json(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert main(["faults", "plan", "toycache", "--fault-seed", "5",
+                     "--out", str(out)]) == 0
+        plan = FaultPlan.load(str(out))
+        assert plan.seed == "5"
+        assert len(plan) > 0
+        # canonical bytes: a second run reproduces the file exactly
+        again = tmp_path / "again.json"
+        assert main(["faults", "plan", "toycache", "--fault-seed", "5",
+                     "--out", str(again)]) == 0
+        assert out.read_bytes() == again.read_bytes()
+
+    def test_plan_without_out_prints_json(self, capsys):
+        assert main(["faults", "plan", "toycache", "--fault-seed", "5"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["format"] == "mocket-fault-plan/1"
+
+
+class TestFaultsRunAndReplay:
+    def test_run_passes_and_triages_clean(self, capsys):
+        assert main(["faults", "run", "toycache", "--fault-seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "0 unattributed" in out
+
+    def test_replay_reuses_a_saved_plan(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert main(["faults", "plan", "toycache", "--fault-seed", "5",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["faults", "replay", "toycache", "--plan",
+                     str(out)]) == 0
+        assert "0 unattributed" in capsys.readouterr().out
+
+    def test_replay_rejects_a_foreign_plan(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError, match="not a mocket fault plan"):
+            main(["faults", "replay", "toycache", "--plan", str(bogus)])
+
+
+class TestTestFaultFlags:
+    def test_test_with_faults_is_deterministic(self, capsys):
+        assert main(["test", "toycache", "--faults",
+                     "--fault-seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["test", "toycache", "--faults",
+                     "--fault-seed", "9"]) == 0
+        second = capsys.readouterr().out
+
+        def stable(text):
+            return [line for line in text.splitlines()
+                    if "wall clock" not in line and " cases, " not in line]
+
+        assert stable(first) == stable(second)
+        assert "fault plan:" in first
+        assert "fault triage" in first
+
+    def test_chaos_flag_implies_faults(self, capsys):
+        assert main(["test", "toycache", "--chaos", "--fault-seed", "9",
+                     "--cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+
+
+class TestScenariosVerb:
+    def test_bundled_scenarios_match_expectations(self, capsys):
+        assert main(["faults", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "[as expected]" in out
+        assert "UNEXPECTED" not in out
+        assert "pyxraft-modeled-message-faults" in out

@@ -1,0 +1,120 @@
+"""Nemesis primitives against the runtime layer: partition/heal,
+reorder, bounce, crash — plus the network's hold/flush mechanics."""
+
+import random
+
+import pytest
+
+from repro.faults import ChaosKind, FaultInjection, InjectionMode, Nemesis
+from repro.runtime.network import Network
+
+
+class _FakeRuntime:
+    """Just enough of MocketRuntime for the bounce path."""
+
+    def __init__(self):
+        self.snapshots = []
+
+    def snapshot_node(self, node):
+        self.snapshots.append(node.node_id)
+
+
+def chaos(kind, step=1, **params):
+    return FaultInjection(InjectionMode.CHAOS, kind.value, case_id=0,
+                          step_index=step, params=params)
+
+
+@pytest.fixture
+def cluster():
+    from repro.systems.pyxraft import XraftConfig, make_xraft_cluster
+
+    built = make_xraft_cluster(("n1", "n2", "n3"), XraftConfig())
+    built.deploy()
+    yield built
+    built.shutdown()
+
+
+class TestNetworkPartition:
+    def test_cross_cut_sends_are_held_not_lost(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.partition([["n1"], ["n2"]])
+        assert network.send("n1", "n2", {"x": 1}) is True
+        assert network.pending_count("n2") == 0
+        assert len(network.held_snapshot()) == 1
+        released = network.heal()
+        assert released == 1
+        assert network.pending_count("n2") == 1
+
+    def test_heal_flushes_in_send_order(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.partition([["n1"], ["n2"]])
+        for value in range(3):
+            network.send("n1", "n2", value)
+        network.heal()
+        got = [network.receive("n2").payload for _ in range(3)]
+        assert got == [0, 1, 2]
+
+    def test_unnamed_nodes_see_everyone(self):
+        network = Network()
+        for node in ("n1", "n2", "client"):
+            network.register(node)
+        network.partition([["n1"], ["n2"]])
+        assert network.send("client", "n1", "hello") is True
+        assert network.pending_count("n1") == 1
+
+
+class TestNemesis:
+    def test_partition_isolates_and_heal_releases(self, cluster):
+        nemesis = Nemesis(cluster, _FakeRuntime(), random.Random(0), case_id=0)
+        nemesis.apply(chaos(ChaosKind.PARTITION, isolate="n1"))
+        assert cluster.network.partitioned
+        assert len(nemesis.applied) == 1
+        nemesis.heal_all()
+        assert not cluster.network.partitioned
+
+    def test_heal_all_without_partition_is_a_noop(self, cluster):
+        nemesis = Nemesis(cluster, _FakeRuntime(), random.Random(0), case_id=0)
+        assert nemesis.heal_all() == 0
+
+    def test_reorder_records_permuted_count(self, cluster):
+        nemesis = Nemesis(cluster, _FakeRuntime(), random.Random(0), case_id=0)
+        summary = nemesis.apply(chaos(ChaosKind.REORDER, node="n2"))
+        assert "messages permuted" in summary
+        assert cluster.network.reorder_count == 1
+
+    def test_bounce_restarts_and_snapshots(self, cluster):
+        runtime = _FakeRuntime()
+        nemesis = Nemesis(cluster, runtime, random.Random(0), case_id=0)
+        summary = nemesis.apply(chaos(ChaosKind.BOUNCE, node="n2"))
+        assert cluster.is_up("n2")
+        assert cluster.restart_counts["n2"] == 1
+        assert runtime.snapshots == ["n2"]
+        assert "incarnation 1" in summary
+
+    def test_crash_takes_the_node_down_and_tolerates_repeats(self, cluster):
+        nemesis = Nemesis(cluster, _FakeRuntime(), random.Random(0), case_id=0)
+        nemesis.apply(chaos(ChaosKind.CRASH, node="n3"))
+        assert not cluster.is_up("n3")
+        summary = nemesis.apply(chaos(ChaosKind.CRASH, node="n3"))
+        assert "already down" in summary
+
+    def test_applied_summaries_are_timing_free(self, cluster):
+        nemesis = Nemesis(cluster, _FakeRuntime(), random.Random(0), case_id=0)
+        nemesis.apply(chaos(ChaosKind.PARTITION, isolate="n1"))
+        nemesis.apply(chaos(ChaosKind.CRASH, node="n3"))
+        again = Nemesis(cluster, _FakeRuntime(), random.Random(0), case_id=0)
+        expected = [chaos(ChaosKind.PARTITION, isolate="n1").summary(),
+                    chaos(ChaosKind.CRASH, node="n3").summary()]
+        assert nemesis.applied == expected
+        assert again.applied == []
+
+
+class TestIncarnation:
+    def test_nodes_report_their_restart_generation(self, cluster):
+        assert cluster.node("n1").incarnation == 0
+        cluster.restart_node("n1")
+        assert cluster.node("n1").incarnation == 1
