@@ -7,7 +7,7 @@ model of the system package — must finish well under the threshold
 (default 2 s wall clock).
 
 The measured unit is one cold ``lint_target("pyxraft")`` call: target
-resolution, rule selection, all 18 rules, and suppression matching.
+resolution, rule selection, all 19 rules, and suppression matching.
 The minimum over a few repeats is used so machine noise cannot fail
 the guard spuriously.
 

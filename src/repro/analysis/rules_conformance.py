@@ -14,9 +14,10 @@ import inspect
 from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 from ..core.mapping.kinds import TriggerKind
-from ..tlaplus.spec import VarKind
+from ..tlaplus.spec import ActionKind, VarKind
 from .engine import LintContext, Rule, register
 from .findings import Finding, Severity
+from .rules_spec import _const_keys_read, _fn_location, _fn_source_ast
 
 __all__ = []  # rules register themselves; nothing to re-export
 
@@ -124,6 +125,55 @@ class TranslatorArityRule(Rule):
             file=code.co_filename if code else None,
             line=code.co_firstlineno if code else None,
             obj=f"mapping.{ctx.spec.name}/{owner.split(' ')[0]}")
+
+
+def _is_budget_value(value) -> bool:
+    """A fault-budget constant: a plain int (False/True are not budgets)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+@register
+class DormantFaultVocabularyRule(Rule):
+    code = "MCK106"
+    name = "dormant-fault-vocabulary"
+    severity = Severity.WARNING
+    requires = ("spec", "mapping")
+    description = ("The spec declares a fault vocabulary that can never "
+                   "fire: a fault action's budget constant is 0, or "
+                   "fault-budget constants are read but the mapping "
+                   "registers no fault-triggered hook — ``--faults`` "
+                   "silently degrades to fault-free testing.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        budget_keys: Set[str] = set()
+        for name, decl in sorted(ctx.spec.actions.items()):
+            if decl.kind is not ActionKind.FAULT:
+                continue
+            tree = _fn_source_ast(decl.fn)
+            if tree is None:
+                continue
+            keys = {key for key in _const_keys_read(tree)
+                    if _is_budget_value(ctx.spec.constants.get(key))}
+            budget_keys |= keys
+            dormant = sorted(key for key in keys
+                             if ctx.spec.constants[key] == 0)
+            if dormant:
+                file, line = _fn_location(decl.fn)
+                yield self.finding(
+                    f"fault action {name!r} is dormant: budget constant(s) "
+                    f"{', '.join(map(repr, dormant))} are 0, so it can "
+                    f"never be scheduled",
+                    file=file, line=line,
+                    obj=f"spec.{ctx.spec.name}/action.{name}")
+        if budget_keys and not any(
+                amap.trigger is TriggerKind.FAULT
+                for amap in ctx.mapping.actions.values()):
+            yield self.finding(
+                f"spec budgets fault constant(s) "
+                f"{', '.join(map(repr, sorted(budget_keys)))} but the "
+                f"mapping registers no fault-triggered hook; the fault "
+                f"vocabulary cannot be driven",
+                obj=f"mapping.{ctx.spec.name}")
 
 
 def _mapped_impl_names(ctx: LintContext) -> Set[str]:

@@ -11,7 +11,9 @@ Subcommands mirror the pipeline stages:
   (see docs/FAULTS.md),
 * ``mocket faults``        — the nemesis front end: ``plan`` writes a
   seeded fault plan, ``run`` plans + executes, ``replay`` re-executes a
-  saved plan, ``scenarios`` replays the bundled chaos scenarios,
+  saved plan, ``shrink`` minimizes a failing plan to a minimal repro,
+  ``scenarios`` replays the bundled chaos scenarios (``--format json``
+  for the stable v1 envelope),
 * ``mocket bugs``          — replay all nine Table 2 bug scenarios,
 * ``mocket lint TARGET``   — static conformance analysis of a bundled
   system (spec + mapping + instrumented source) or bare spec; rule
@@ -238,6 +240,7 @@ def _cmd_test(args) -> int:
             graph = canonicalize(graph)
         suite = _load_or_generate_suite(args, graph)
         plan = None
+        base_suite = suite
         max_cases = args.cases
         if want_faults:
             from .faults import FaultRunner, apply_plan, plan_faults
@@ -245,10 +248,12 @@ def _cmd_test(args) -> int:
             # cap the base suite *before* planning, so the appended
             # derived fault cases run even under --cases
             suite = suite.truncated(max_cases)
+            base_suite = suite
             max_cases = None
             node_ids = cluster_factory().node_ids
             plan = plan_faults(graph, suite, mapping, str(args.fault_seed),
-                               node_ids, chaos=args.chaos, target=target)
+                               node_ids, chaos=args.chaos, target=target,
+                               max_faults_per_case=args.max_faults)
             suite = apply_plan(suite, graph, plan)
             tester = FaultRunner(mapping, graph, cluster_factory, plan,
                                  _RUNNER)
@@ -268,6 +273,9 @@ def _cmd_test(args) -> int:
 
             payload = triage(outcome, plan)
             print(render_triage(payload))
+            if payload["unattributed"] and args.shrink_on_failure:
+                _shrink_and_report(plan, graph, base_suite, mapping,
+                                   cluster_factory, args)
             return 0 if payload["unattributed"] == 0 else 1
         for failing in outcome.failures[:5]:
             print(f"  case #{failing.case.case_id}: "
@@ -276,6 +284,37 @@ def _cmd_test(args) -> int:
         return 0 if outcome.passed else 1
 
     return _with_obs(args, command)
+
+
+def _shrink_and_report(plan, graph, suite, mapping, cluster_factory,
+                       args) -> int:
+    """Run :func:`shrink_plan` on a failing plan and print/save results.
+
+    ``suite`` must be the *base* suite (before ``apply_plan``); the
+    shrinker re-derives fault cases for every candidate sub-plan.
+    """
+    from .faults import shrink_plan
+
+    try:
+        result = shrink_plan(
+            plan, graph, suite, mapping, cluster_factory, _RUNNER,
+            budget=getattr(args, "budget", 200) or 200,
+            workers=getattr(args, "workers", 1) or 1)
+    except ValueError as exc:
+        raise SystemExit(f"shrink: {exc}")
+    print(f"shrink: {result.summary()}")
+    out = getattr(args, "out", None)
+    if out:
+        result.minimal.save(out)
+        print(f"minimal plan written to {out}")
+    else:
+        print(result.minimal.to_json(), end="")
+    log = getattr(args, "log", None)
+    if log:
+        result.write_log(log)
+        print(f"shrink log written to {log} "
+              f"({len(result.log)} records; readable by 'trace summarize')")
+    return 0
 
 
 def _cmd_faults(args) -> int:
@@ -299,7 +338,8 @@ def _cmd_faults(args) -> int:
         mapping, cluster_factory, graph, suite = build_kit()
         plan = plan_faults(graph, suite, mapping, str(args.fault_seed),
                            cluster_factory().node_ids, chaos=args.chaos,
-                           target=args.target)
+                           target=args.target,
+                           max_faults_per_case=args.max_faults)
         print(f"fault plan: {plan.summary()}")
         if args.out:
             plan.save(args.out)
@@ -320,7 +360,9 @@ def _cmd_faults(args) -> int:
                 plan = plan_faults(graph, suite, mapping,
                                    str(args.fault_seed),
                                    cluster_factory().node_ids,
-                                   chaos=args.chaos, target=args.target)
+                                   chaos=args.chaos, target=args.target,
+                                   max_faults_per_case=args.max_faults)
+            base_suite = suite
             suite = apply_plan(suite, graph, plan)
             print(f"fault plan: {plan.summary()}")
             tester = FaultRunner(mapping, graph, cluster_factory, plan,
@@ -330,14 +372,29 @@ def _cmd_faults(args) -> int:
             print(outcome.summary())
             payload = triage(outcome, plan)
             print(render_triage(payload))
+            if (payload["unattributed"]
+                    and getattr(args, "shrink_on_failure", False)):
+                _shrink_and_report(plan, graph, base_suite, mapping,
+                                   cluster_factory, args)
             return 0 if payload["unattributed"] == 0 else 1
+
+        return _with_obs(args, command)
+
+    if args.faults_command == "shrink":
+        def command() -> int:
+            mapping, cluster_factory, graph, suite = build_kit()
+            plan = FaultPlan.load(args.plan)
+            suite = suite.truncated(args.cases)
+            print(f"shrinking: {plan.summary()}")
+            return _shrink_and_report(plan, graph, suite, mapping,
+                                      cluster_factory, args)
 
         return _with_obs(args, command)
 
     if args.faults_command == "scenarios":
         from .faults import all_chaos_scenarios
 
-        failures = 0
+        rows = []
         for build in all_chaos_scenarios():
             scenario = build()
             if scenario.target == "pyxraft":
@@ -349,6 +406,15 @@ def _cmd_faults(args) -> int:
                 mapping = build_xraft_mapping(scenario.spec, config)
                 factory = (lambda servers=scenario.servers, cfg=config:
                            make_xraft_cluster(servers, cfg))
+            elif scenario.target == "minizk":
+                from .systems.minizk import (
+                    MiniZkConfig, build_minizk_mapping, make_minizk_cluster,
+                )
+
+                config = MiniZkConfig()
+                mapping = build_minizk_mapping(scenario.spec, config)
+                factory = (lambda servers=scenario.servers, cfg=config:
+                           make_minizk_cluster(servers, cfg))
             else:
                 from .systems.raftkv import (
                     RaftKvConfig, build_raftkv_mapping, make_raftkv_cluster,
@@ -363,14 +429,31 @@ def _cmd_faults(args) -> int:
             result = tester.run_case(scenario.case)
             outcome = ("pass" if result.passed
                        else result.divergence.kind.value)
-            ok = outcome == scenario.expected_kind
-            if not ok:
-                failures += 1
             detail = ("all clear" if result.passed
                       else result.divergence.headline())
-            print(f"{scenario.name}: {detail} "
-                  f"[{'as expected' if ok else 'UNEXPECTED'}]")
-        return 1 if failures else 0
+            rows.append({
+                "name": scenario.name,
+                "target": scenario.target,
+                "expected": scenario.expected_kind,
+                "outcome": outcome,
+                "ok": outcome == scenario.expected_kind,
+                "detail": detail,
+            })
+        failed = sum(1 for row in rows if not row["ok"])
+        if getattr(args, "format", "text") == "json":
+            # stable v1 envelope, like `mocket lint --format json`
+            import json
+
+            print(json.dumps({
+                "version": 1,
+                "scenarios": rows,
+                "summary": {"total": len(rows), "failed": failed},
+            }, indent=2, sort_keys=True))
+        else:
+            for row in rows:
+                print(f"{row['name']}: {row['detail']} "
+                      f"[{'as expected' if row['ok'] else 'UNEXPECTED'}]")
+        return 1 if failed else 0
 
     raise SystemExit(f"unknown faults subcommand {args.faults_command!r}")
 
@@ -464,13 +547,24 @@ def main(argv: Optional[list] = None) -> int:
                             "fault plan and identical reports (default: 0)")
         p.add_argument("--chaos", action="store_true",
                        help="also inject disruptive spec-unmodeled faults "
-                            "(bounce/crash) with convergence-mode checking")
+                            "(bounce/crash/corrupt) with convergence-mode "
+                            "checking")
+        p.add_argument("--max-faults", type=int, default=1, metavar="K",
+                       help="schedule up to K faults per case (default: 1; "
+                            "K>1 widens the vocabulary to link cuts, "
+                            "partial partitions, delays and corruption)")
+
+    def add_shrink_flag(p) -> None:
+        p.add_argument("--shrink-on-failure", action="store_true",
+                       help="after an unattributed failure, shrink the "
+                            "plan to a minimal repro (docs/FAULTS.md)")
 
     def add_fault_flags(p) -> None:
         p.add_argument("--faults", action="store_true",
                        help="inject modeled + transparent chaos faults "
                             "while testing (docs/FAULTS.md)")
         add_fault_seed_flags(p)
+        add_shrink_flag(p)
 
     def add_engine_flags(p) -> None:
         p.add_argument("--workers", type=int, default=1, metavar="N",
@@ -545,6 +639,7 @@ def main(argv: Optional[list] = None) -> int:
         "run", help="plan + execute fault injection, then triage")
     add_faults_common(p_frun)
     add_fault_seed_flags(p_frun)
+    add_shrink_flag(p_frun)
     p_frun.add_argument("--cases", type=int, default=None)
     add_engine_flags(p_frun)
     add_obs_flags(p_frun)
@@ -560,8 +655,29 @@ def main(argv: Optional[list] = None) -> int:
     add_obs_flags(p_freplay)
     p_freplay.set_defaults(func=_cmd_faults)
 
+    p_fshrink = faults_sub.add_parser(
+        "shrink", help="minimize a failing fault plan to a minimal repro")
+    add_faults_common(p_fshrink)
+    p_fshrink.add_argument("--plan", required=True,
+                           help="a failing plan written by 'faults plan --out'")
+    p_fshrink.add_argument("--cases", type=int, default=None,
+                           help="truncate the base suite as the failing "
+                                "run did")
+    p_fshrink.add_argument("--budget", type=int, default=200, metavar="N",
+                           help="replay budget for the shrink search "
+                                "(default: 200)")
+    p_fshrink.add_argument("--out", help="write the minimal plan JSON here")
+    p_fshrink.add_argument("--log", metavar="FILE",
+                           help="write the JSONL shrink log to FILE "
+                                "(readable by 'mocket trace summarize')")
+    add_engine_flags(p_fshrink)
+    add_obs_flags(p_fshrink)
+    p_fshrink.set_defaults(func=_cmd_faults)
+
     p_fscen = faults_sub.add_parser(
         "scenarios", help="replay the bundled chaos scenarios")
+    p_fscen.add_argument("--format", choices=("text", "json"), default="text",
+                         help="json prints the stable v1 envelope")
     p_fscen.set_defaults(func=_cmd_faults, faults_command="scenarios")
 
     p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")

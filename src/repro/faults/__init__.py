@@ -6,6 +6,8 @@ verified state graph (:func:`plan_faults` / :func:`apply_plan`), a
 runtime :class:`Nemesis` applying crash / restart / partition / reorder
 faults, a :class:`FaultRunner` with bounded retry and convergence-mode
 checking, and :func:`triage` to attribute the resulting divergences.
+Failing plans shrink to a minimal repro with :func:`shrink_plan`
+(delta debugging + parameter shrinking, fully deterministic).
 See docs/FAULTS.md.
 """
 
@@ -22,11 +24,13 @@ from .runner import FaultConfig, FaultRunner
 from .scenarios import (
     ChaosScenario,
     all_chaos_scenarios,
+    minizk_crash_restart,
     pyxraft_crash_blackout,
     pyxraft_modeled_message_faults,
     pyxraft_partition_transparent,
     raftkv_bounce_leader,
 )
+from .shrink import ShrinkResult, shrink_plan
 from .triage import render_triage, triage
 
 __all__ = [
@@ -45,10 +49,13 @@ __all__ = [
     "FaultRunner",
     "triage",
     "render_triage",
+    "ShrinkResult",
+    "shrink_plan",
     "ChaosScenario",
     "all_chaos_scenarios",
     "raftkv_bounce_leader",
     "pyxraft_crash_blackout",
     "pyxraft_partition_transparent",
     "pyxraft_modeled_message_faults",
+    "minizk_crash_restart",
 ]

@@ -36,10 +36,24 @@ class Nemesis:
         effect = ""
         if kind is ChaosKind.PARTITION:
             self.cluster.isolate(injection.params["isolate"])
+        elif kind is ChaosKind.PARTIAL_PARTITION:
+            self.cluster.partition_group(list(injection.params["group"]))
+        elif kind is ChaosKind.LINK_CUT:
+            self.cluster.cut_link(injection.params["src"],
+                                  injection.params["dst"])
+        elif kind is ChaosKind.DELAY:
+            self.cluster.delay_link(injection.params["src"],
+                                    injection.params["dst"],
+                                    int(injection.params["count"]))
         elif kind is ChaosKind.REORDER:
             permuted = self.cluster.network.reorder_inbox(
                 injection.params["node"], self.rng)
             effect = f" ({permuted} messages permuted)"
+        elif kind is ChaosKind.CORRUPT:
+            victim = self.cluster.network.corrupt_inbox(
+                injection.params["node"], self.rng)
+            effect = (" (no pending messages)" if victim is None
+                      else f" (dropped {victim.src} -> {victim.dst})")
         elif kind is ChaosKind.BOUNCE:
             node = self.cluster.restart_node(injection.params["node"])
             self.runtime.snapshot_node(node)
@@ -62,8 +76,9 @@ class Nemesis:
         return summary
 
     def heal_all(self) -> int:
-        """Heal any active partition; returns the released message count."""
-        if not self.cluster.network.partitioned:
+        """Heal every active network fault (partition, link cuts,
+        delays); returns the released message count."""
+        if not self.cluster.network.disrupted:
             return 0
         released = self.cluster.heal()
         if TRACER.enabled:

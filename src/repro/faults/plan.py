@@ -87,6 +87,16 @@ class FaultInjection:
         return (self.mode is InjectionMode.CHAOS
                 and ChaosKind(self.kind) in DISRUPTIVE_KINDS)
 
+    def replace(self, *, params: Optional[Dict[str, Any]] = None,
+                tail: Optional[Sequence[EdgeRef]] = None) -> "FaultInjection":
+        """A copy with ``params`` and/or ``tail`` substituted — the
+        shrinker uses this to try weakened variants of an injection."""
+        return FaultInjection(
+            self.mode, self.kind, self.case_id, self.step_index,
+            params=self.params if params is None else params,
+            derived_case_id=self.derived_case_id, edge=self.edge,
+            tail=self.tail if tail is None else tail)
+
     def summary(self) -> str:
         """A one-line, timing-free description for reports and triage."""
         where = f"case #{self.case_id} step {self.step_index}"
@@ -153,6 +163,12 @@ class FaultPlan:
     def kinds(self) -> List[str]:
         """Distinct fault kinds this plan injects, sorted."""
         return sorted({i.kind for i in self.injections})
+
+    def subset(self, injections: Sequence[FaultInjection]) -> "FaultPlan":
+        """A plan carrying the same seed/chaos/target but only the
+        given injections — a ddmin candidate is exactly this."""
+        return FaultPlan(self.seed, injections, chaos=self.chaos,
+                         target=self.target)
 
     def counts_by_kind(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

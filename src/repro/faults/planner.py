@@ -20,6 +20,25 @@ Two families of injection points:
   (partition / reorder, alternating), and with ``chaos=True`` every
   other case additionally gets a *disruptive* one (bounce / crash,
   alternating), which switches that case to convergence-mode checking.
+
+With ``max_faults_per_case=k`` (k > 1) the planner composes schedules:
+modeled splices may chain several fault edges inside one derived case,
+and each chaos-eligible case fills its ``k``-injection budget — the
+base transparent injection, one disruptive window (under ``chaos``,
+alternating bounce/crash on even cases and corruption on odd ones),
+and extra transparent injections from the wider vocabulary (one-way
+link cuts, per-link delays, partial partitions, reorders) — subject to
+the legality rules:
+
+* at most one partition-family injection per case (a second
+  partition/partial-partition would overwrite the first's groups),
+* at most one *disruptive* injection per case — disruptive windows
+  must not overlap, because convergence-mode checking needs a single
+  perturbation to converge from,
+* link cuts, delays and reorders stack freely.
+
+``k == 1`` consumes the seeded dice exactly as earlier releases did, so
+existing plans stay byte-identical.
 """
 
 from __future__ import annotations
@@ -38,6 +57,12 @@ __all__ = ["plan_faults", "apply_plan"]
 
 _BENIGN_CYCLE = (ChaosKind.PARTITION, ChaosKind.REORDER)
 _DISRUPTIVE_CYCLE = (ChaosKind.BOUNCE, ChaosKind.CRASH)
+# the wider vocabulary, reachable only via max_faults_per_case > 1 so
+# existing single-fault plans stay byte-identical
+_EXTRA_CYCLE = (ChaosKind.LINK_CUT, ChaosKind.DELAY,
+                ChaosKind.PARTIAL_PARTITION, ChaosKind.REORDER)
+_PARTITION_FAMILY = frozenset({ChaosKind.PARTITION,
+                               ChaosKind.PARTIAL_PARTITION})
 
 
 def _case_rng(seed: str, case_id: int, salt: str = "") -> random.Random:
@@ -56,8 +81,12 @@ def plan_faults(
     tail_length: int = 2,
     max_modeled: Optional[int] = None,
     target: str = "",
+    max_faults_per_case: int = 1,
 ) -> FaultPlan:
     """Build a deterministic :class:`FaultPlan` for ``suite``."""
+    if max_faults_per_case < 1:
+        raise ValueError(f"max_faults_per_case must be >= 1, "
+                         f"got {max_faults_per_case}")
     seed = str(seed)
     fault_names = {name for name, action in mapping.actions.items()
                    if action.trigger is TriggerKind.FAULT}
@@ -77,6 +106,24 @@ def plan_faults(
         kind_use[kind] = kind_use.get(kind, 0) + 1
         tail = _choose_tail(graph, edge.dst, fault_names, tail_length,
                             _case_rng(seed, case.case_id, "tail"))
+        # with a multi-fault budget, chain further verified fault edges
+        # (each with its own short tail) into the same derived case —
+        # the whole chain is still a path of the graph, so per-step
+        # checking stays exact
+        for chain in range(2, max_faults_per_case + 1):
+            end = tail[-1].dst if tail else edge.dst
+            rng = _case_rng(seed, case.case_id, f"chain{chain}")
+            options = [e for e in graph.out_edges(end)
+                       if e.label.name in fault_names]
+            if not options:
+                break
+            extra = options[rng.randrange(len(options))]
+            extra_kind = mapping.actions[extra.label.name].fault_kind.value
+            kind_use[extra_kind] = kind_use.get(extra_kind, 0) + 1
+            tail.append(extra)
+            tail.extend(_choose_tail(
+                graph, extra.dst, fault_names, tail_length,
+                _case_rng(seed, case.case_id, f"tail{chain}")))
         injections.append(FaultInjection(
             InjectionMode.MODELED, kind, case.case_id, position,
             derived_case_id=next_id,
@@ -106,8 +153,78 @@ def plan_faults(
             injections.append(FaultInjection(
                 InjectionMode.CHAOS, disruptive.value, case.case_id, step,
                 params={"node": node}))
+        if max_faults_per_case > 1:
+            injections.extend(_extra_chaos(
+                case, index, kind, node_ids, chaos, max_faults_per_case,
+                _case_rng(seed, case.case_id, "chaos+")))
 
     return FaultPlan(seed, injections, chaos=chaos, target=target)
+
+
+def _extra_chaos(case: TestCase, index: int, base_kind: ChaosKind,
+                 node_ids: Sequence[str], chaos: bool, budget: int,
+                 rng: random.Random) -> List[FaultInjection]:
+    """Extra per-case injections from the wide vocabulary (k > 1 only).
+
+    Walks ``_EXTRA_CYCLE`` from a per-case offset so coverage spreads,
+    skipping kinds the legality rules forbid.  With ``chaos=True``,
+    odd-index cases (which the base dice leave non-disruptive) trade
+    their last slot for a CORRUPT injection — keeping the invariant of
+    at most one disruptive injection per case.
+    """
+    extras: List[FaultInjection] = []
+    partition_used = base_kind in _PARTITION_FAMILY
+    slots = budget - 1
+    if chaos:
+        # even-index cases already carry the base disruptive injection;
+        # odd-index cases reserve the slot for the corrupt below — either
+        # way one slot of the k-budget is spent on a disruptive window
+        slots -= 1
+    for slot in range(slots):
+        kind = None
+        for offset in range(len(_EXTRA_CYCLE)):
+            candidate = _EXTRA_CYCLE[(index + slot + offset)
+                                     % len(_EXTRA_CYCLE)]
+            if candidate in _PARTITION_FAMILY and partition_used:
+                continue
+            if candidate is not ChaosKind.REORDER and len(node_ids) < 2:
+                continue  # link/partition kinds need a second node
+            kind = candidate
+            break
+        if kind is None:  # pragma: no cover - cycle always has legal kinds
+            break
+        step = rng.randrange(1, len(case.steps))
+        params = _extra_params(kind, node_ids, rng)
+        if kind in _PARTITION_FAMILY:
+            partition_used = True
+        extras.append(FaultInjection(
+            InjectionMode.CHAOS, kind.value, case.case_id, step,
+            params=params))
+    if chaos and index % 2 == 1:
+        node = node_ids[rng.randrange(len(node_ids))]
+        step = rng.randrange(1, len(case.steps) + 1)
+        extras.append(FaultInjection(
+            InjectionMode.CHAOS, ChaosKind.CORRUPT.value, case.case_id,
+            step, params={"node": node}))
+    return extras
+
+
+def _extra_params(kind: ChaosKind, node_ids: Sequence[str],
+                  rng: random.Random) -> Dict[str, object]:
+    """Seeded parameters for one wide-vocabulary injection."""
+    if kind is ChaosKind.REORDER:
+        return {"node": node_ids[rng.randrange(len(node_ids))]}
+    if kind is ChaosKind.PARTIAL_PARTITION:
+        size = rng.randrange(1, len(node_ids)) if len(node_ids) > 1 else 1
+        group = sorted(rng.sample(list(node_ids), size))
+        return {"group": group, "heal_after": rng.randrange(1, 3)}
+    # directed-link kinds: pick an ordered pair of distinct nodes
+    src = node_ids[rng.randrange(len(node_ids))]
+    others = [n for n in node_ids if n != src] or [src]
+    dst = others[rng.randrange(len(others))]
+    if kind is ChaosKind.DELAY:
+        return {"src": src, "dst": dst, "count": rng.randrange(1, 4)}
+    return {"src": src, "dst": dst, "heal_after": rng.randrange(1, 3)}
 
 
 def _choose_modeled(graph: StateGraph, case: TestCase, mapping: SpecMapping,

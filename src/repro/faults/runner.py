@@ -47,11 +47,17 @@ class FaultConfig:
     """Retry/backoff budget for fault-perturbed cases."""
 
     def __init__(self, retries: int = 2, backoff: float = 0.25,
-                 convergence_timeout: float = 2.0, poll: float = 0.1):
+                 convergence_timeout: float = 2.0, poll: float = 0.1,
+                 jitter: float = 0.0):
         self.retries = retries                        # re-waits after heal
         self.backoff = backoff                        # seconds, linear per attempt
         self.convergence_timeout = convergence_timeout
         self.poll = poll                              # convergence re-check period
+        # optional extra sleep, up to ``jitter`` seconds per retry.  The
+        # amount is drawn from a plan-seeded per-case stream (never the
+        # process-global ``random``), so ``faults replay`` and the
+        # shrinker see bit-identical behaviour run over run.
+        self.jitter = jitter
 
 
 class FaultRunner(ControlledTester):
@@ -68,15 +74,23 @@ class FaultRunner(ControlledTester):
         self._nemesis: Optional[Nemesis] = None
         self._pending: List[FaultInjection] = []
         self._case_rng: Optional[random.Random] = None
+        # backoff jitter draws come from their own stream: the nemesis
+        # stream must consume the same sequence regardless of how many
+        # retries happened, or reorder/corrupt picks would drift
+        self._backoff_rng: Optional[random.Random] = None
         self._convergence = False
+        self._heal_at: List[int] = []
 
     # -- case lifecycle ------------------------------------------------------
     def _run_case(self, case: TestCase) -> TestCaseResult:
         self._pending = self.plan.chaos_for(case.case_id)
         self._case_rng = random.Random(
             f"{self.plan.seed}:{case.case_id}:nemesis")
+        self._backoff_rng = random.Random(
+            f"{self.plan.seed}:{case.case_id}:backoff")
         self._nemesis = None
         self._convergence = False
+        self._heal_at = []
         result = super()._run_case(case)
         modeled = [injection.summary() for injection in self.plan.modeled()
                    if injection.derived_case_id == case.case_id]
@@ -116,7 +130,10 @@ class FaultRunner(ControlledTester):
         last = divergence
         for attempt in range(1, self.faults.retries + 1):
             self._nemesis.heal_all()
-            time.sleep(self.faults.backoff * attempt)
+            pause = self.faults.backoff * attempt
+            if self.faults.jitter:
+                pause += self._backoff_rng.random() * self.faults.jitter
+            time.sleep(pause)
             if action.trigger is TriggerKind.FAULT:
                 retried = self._run_fault(index, step, runtime, cluster,
                                           action)
@@ -172,11 +189,21 @@ class FaultRunner(ControlledTester):
 
     # -- nemesis plumbing ----------------------------------------------------
     def _apply_due(self, index: int, runtime, cluster) -> None:
+        # scheduled heals fire first: an injection planned with a
+        # ``heal_after`` window releases *everything* currently held
+        # (heal is global), then this boundary's injections apply
+        if self._heal_at and self._nemesis is not None and any(
+                at <= index for at in self._heal_at):
+            self._heal_at = [at for at in self._heal_at if at > index]
+            self._nemesis.heal_all()
         while self._pending and self._pending[0].step_index <= index:
             injection = self._pending.pop(0)
             if self._nemesis is None:
                 self._nemesis = Nemesis(cluster, runtime, self._case_rng,
                                         injection.case_id)
             self._nemesis.apply(injection)
+            heal_after = injection.params.get("heal_after")
+            if heal_after is not None:
+                self._heal_at.append(injection.step_index + int(heal_after))
             if injection.disruptive:
                 self._convergence = True

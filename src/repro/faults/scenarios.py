@@ -22,6 +22,11 @@ contract:
 * ``pyxraft_modeled_message_faults`` — no chaos at all: the long-dormant
   ``DropMessage`` / ``DuplicateMessage`` spec actions are scheduled
   directly, so per-step checking stays exact and the case must pass.
+* ``minizk_crash_restart`` — ZAB's modeled ``Crash``/``Restart`` fault
+  actions scheduled directly against ``minizk``: a node dies, comes
+  back with volatile election state wiped, and the cluster still
+  elects a leader — every step, the faults included, is a verified
+  spec transition, so the case must pass.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import Callable, List
 
 from ..core.testgen import label, scenario_case
 from ..specs.raft import RaftSpecOptions, build_raft_spec
+from ..specs.zab import ZabSpecOptions, build_zab_spec
 from .kinds import ChaosKind, InjectionMode
 from .plan import FaultInjection, FaultPlan
 
@@ -39,6 +45,7 @@ __all__ = [
     "pyxraft_crash_blackout",
     "pyxraft_partition_transparent",
     "pyxraft_modeled_message_faults",
+    "minizk_crash_restart",
     "all_chaos_scenarios",
 ]
 
@@ -60,7 +67,7 @@ class ChaosScenario:
                  plan: FaultPlan, servers, expected_kind: str,
                  expected_verdict: str):
         self.name = name
-        self.target = target          # system kit: "raftkv" | "pyxraft"
+        self.target = target          # system kit: "raftkv" | "pyxraft" | "minizk"
         self.spec = spec
         self.graph = graph
         self.case = case
@@ -178,6 +185,42 @@ def pyxraft_modeled_message_faults() -> ChaosScenario:
     )
 
 
+def minizk_crash_restart() -> ChaosScenario:
+    """Crash ``n1``, restart it (volatile election state wiped, durable
+    epochs kept), then run a full leader election that the rebooted
+    node participates in.  ``Crash`` and ``Restart`` are ZAB spec fault
+    actions (``ZabSpecOptions.fault_actions()`` lists them), so the
+    whole case — faults included — runs with exact per-step checking
+    and must pass: ``minizk``'s first *verified* fault case."""
+    servers = ("n1", "n2", "n3")
+    options = ZabSpecOptions(
+        servers=servers, max_elections=1, max_crashes=1, max_restarts=1,
+        starters=("n3",), crashers=("n1",), name="zab-crash-restart",
+    )
+    assert options.fault_actions() == ("Crash", "Restart")
+    spec = build_zab_spec(options)
+
+    def vote(src, dst):
+        return {"mtype": "Vote", "mround": 1, "mvote": (0, "n3"),
+                "msource": src, "mdest": dst}
+
+    schedule = [
+        label("Crash", i="n1"),
+        label("Restart", i="n1"),
+        label("StartElection", i="n3"),
+        label("HandleVote", m=vote("n3", "n1")),
+        label("HandleVote", m=vote("n1", "n3")),
+        label("BecomeLeading", i="n3"),
+    ]
+    graph, case = scenario_case(spec, schedule)
+    plan = FaultPlan("scenario", [], chaos=False, target="minizk")
+    return ChaosScenario(
+        "minizk-crash-restart", "minizk", spec, graph, case, plan,
+        servers, expected_kind="pass", expected_verdict="pass",
+    )
+
+
 def all_chaos_scenarios() -> List[Callable[[], ChaosScenario]]:
     return [raftkv_bounce_leader, pyxraft_crash_blackout,
-            pyxraft_partition_transparent, pyxraft_modeled_message_faults]
+            pyxraft_partition_transparent, pyxraft_modeled_message_faults,
+            minizk_crash_restart]

@@ -177,6 +177,26 @@ class TraceReader:
             line.steps.sort(key=lambda step: (step.index, step.ts))
         return timelines
 
+    def shrink_summary(self) -> Optional[str]:
+        """One-line digest of a shrink run recorded in this trace.
+
+        ``mocket faults shrink --log`` writes ``shrink.*`` records; the
+        final ``shrink.done`` carries the whole outcome.  Returns
+        ``None`` when the trace holds no completed shrink run.
+        """
+        done = self.by_name("shrink.done")
+        if not done:
+            return None
+        fields = done[-1].fields
+        tag = (" (fault-independent)"
+               if fields.get("fault_independent") else "")
+        status = "" if fields.get("converged", True) else " [budget exhausted]"
+        signature = ", ".join(fields.get("signature", ())) or "?"
+        return (f"shrink: {fields.get('initial', '?')} -> "
+                f"{fields.get('final', '?')} injections in "
+                f"{fields.get('replays', '?')} replays{status}; "
+                f"reproduces: {signature}{tag}")
+
     # -- human output ---------------------------------------------------------
     def summarize(self, max_cases: Optional[int] = None) -> str:
         """A text report: totals, per-name counts, per-case timelines."""
@@ -189,6 +209,9 @@ class TraceReader:
             width = max(len(name) for name in counts)
             for name, count in counts.items():
                 lines.append(f"  {name.ljust(width)}  {count}")
+        shrink = self.shrink_summary()
+        if shrink:
+            lines.append(shrink)
         timelines = self.case_timelines()
         if timelines:
             divergent = sum(1 for line in timelines.values() if not line.passed)

@@ -111,6 +111,23 @@ class Cluster:
         rest = [n for n in self.node_ids if n != node_id]
         self.partition([[node_id], rest])
 
+    def partition_group(self, group: Sequence[str]) -> None:
+        """Partition the nodes in ``group`` away from the rest of the
+        cluster (a *partial* partition: the subset is arbitrary, not
+        necessarily a single node)."""
+        members = list(group)
+        rest = [n for n in self.node_ids if n not in set(members)]
+        self.partition([members, rest])
+
+    def cut_link(self, src: str, dst: str) -> None:
+        """Asymmetric one-way cut (see ``Network.cut_link``)."""
+        self.network.cut_link(src, dst)
+
+    def delay_link(self, src: str, dst: str, count: int) -> None:
+        """Hold the next ``count`` messages on one directed link
+        (see ``Network.delay_link``)."""
+        self.network.delay_link(src, dst, count)
+
     # -- context manager -------------------------------------------------------------
     def __enter__(self) -> "Cluster":
         self.deploy()

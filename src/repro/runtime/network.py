@@ -30,6 +30,19 @@ specification's view, where an in-flight message simply stays in the
 bag longer.  :meth:`reorder_inbox` permutes one mailbox with a seeded
 RNG; the spec's message bag is order-free, so a correct implementation
 must tolerate any permutation.
+
+Beyond the symmetric partition the fabric supports three finer
+disturbances, all released by the same :meth:`heal`:
+
+* :meth:`cut_link` — an **asymmetric one-way cut**: only ``src -> dst``
+  traffic is held; the reverse direction still flows,
+* :meth:`delay_link` — hold the **next N** messages on one directed
+  link (a deterministic stand-in for a latency spike: the held prefix
+  arrives after heal, i.e. strictly later than everything else),
+* :meth:`corrupt_inbox` — remove one pending message from a mailbox,
+  modeling a corrupted frame the receiver's checksum rejects.  Unlike
+  the holds above this *loses* the message, so it is a disruptive
+  fault.
 """
 
 from __future__ import annotations
@@ -72,8 +85,14 @@ class Network:
         # nemesis state: node_id -> partition group index, held envelopes
         self._partition: Dict[str, int] = {}
         self._held: List[Envelope] = []
+        # directed link faults: (src, dst) -> True for a cut, or the
+        # number of messages still to hold for a delay
+        self._cuts: Dict[tuple, bool] = {}
+        self._delays: Dict[tuple, int] = {}
         self.held_count = 0       # lifetime total of envelopes ever held
         self.reorder_count = 0    # lifetime total of reorder operations
+        self.corrupt_count = 0    # lifetime total of corrupted (dropped) messages
+        self.corrupted: List[Envelope] = []
 
     # -- registration --------------------------------------------------------
     def register(self, node_id: str,
@@ -112,7 +131,7 @@ class Network:
             if inbox is None:
                 self.dead_letters.append(envelope)
                 return False
-            if self._crosses_cut(src, dst):
+            if self._holds(src, dst):
                 self._held.append(envelope)
                 self.held_count += 1
                 return True  # held, not lost: delivered on heal()
@@ -165,6 +184,48 @@ class Network:
             return False
         return src_group != dst_group
 
+    def _holds(self, src: str, dst: str) -> bool:
+        """True when an active fault holds a ``src -> dst`` message.
+
+        Caller must hold ``self._lock``.  A delay consumes one unit of
+        its hold budget per message; the link clears itself once the
+        budget is spent (heal also clears it early).
+        """
+        if self._crosses_cut(src, dst):
+            return True
+        if (src, dst) in self._cuts:
+            return True
+        remaining = self._delays.get((src, dst), 0)
+        if remaining > 0:
+            if remaining == 1:
+                del self._delays[(src, dst)]
+            else:
+                self._delays[(src, dst)] = remaining - 1
+            return True
+        return False
+
+    def cut_link(self, src: str, dst: str) -> None:
+        """Install an asymmetric cut: hold ``src -> dst`` traffic only.
+
+        The reverse direction keeps flowing — the classic one-way
+        network failure a symmetric partition cannot express.
+        """
+        with self._lock:
+            self._cuts[(src, dst)] = True
+
+    def delay_link(self, src: str, dst: str, count: int) -> None:
+        """Hold the next ``count`` messages sent ``src -> dst``.
+
+        A deterministic latency spike: the held prefix is released by
+        :meth:`heal`, i.e. strictly after every message that was not
+        delayed.  Deliberately not wall-clock based so replays are
+        bit-deterministic.
+        """
+        if count < 1:
+            raise ValueError(f"delay count must be >= 1, got {count}")
+        with self._lock:
+            self._delays[(src, dst)] = self._delays.get((src, dst), 0) + count
+
     def partition(self, groups: Sequence[Sequence[str]]) -> None:
         """Install a symmetric partition: nodes in different groups
         cannot exchange messages until :meth:`heal`."""
@@ -182,14 +243,25 @@ class Network:
         with self._lock:
             return bool(self._partition)
 
+    @property
+    def disrupted(self) -> bool:
+        """True while any nemesis network fault is active: a partition,
+        a link cut, an unspent delay, or held (undelivered) messages."""
+        with self._lock:
+            return bool(self._partition or self._cuts or self._delays
+                        or self._held)
+
     def heal(self) -> int:
-        """Remove the partition and flush held messages, in send order.
+        """Remove every network fault (partition, link cuts, delays)
+        and flush held messages, in send order.
 
         Returns the number of released envelopes.  Envelopes whose
         destination mailbox disappeared meanwhile go to dead_letters.
         """
         with self._lock:
             self._partition = {}
+            self._cuts = {}
+            self._delays = {}
             held, self._held = self._held, []
             inboxes = {e.dst: self._inboxes.get(e.dst) for e in held}
         for envelope in held:
@@ -227,6 +299,33 @@ class Network:
             self.reorder_count += 1
         return len(backlog)
 
+    def corrupt_inbox(self, node_id: str, rng) -> Optional[Envelope]:
+        """Corrupt one pending message in ``node_id``'s mailbox: the
+        rng picks a victim, which is removed — modeling a frame whose
+        checksum the receiver rejects.  Returns the removed envelope,
+        or None when the mailbox is empty or unknown.  The loss is
+        outside the spec's bag semantics, so this is a disruptive
+        fault.
+        """
+        with self._lock:
+            inbox = self._inboxes.get(node_id)
+            if inbox is None:
+                return None
+            backlog: List[Envelope] = []
+            while True:
+                try:
+                    backlog.append(inbox.get_nowait())
+                except queue.Empty:
+                    break
+            if not backlog:
+                return None
+            victim = backlog.pop(rng.randrange(len(backlog)))
+            for envelope in backlog:
+                inbox.put(envelope)
+            self.corrupt_count += 1
+            self.corrupted.append(victim)
+        return victim
+
     # -- synchronous RPC ------------------------------------------------------------
     def rpc(self, src: str, dst: str, payload: Any) -> Any:
         """Invoke ``dst``'s RPC handler in the caller's thread.
@@ -238,7 +337,10 @@ class Network:
         with self._lock:
             handler = self._rpc_handlers.get(dst)
             self.sent_count += 1
-            cut = self._crosses_cut(src, dst)
+            # A synchronous call has no mailbox to hold it in, so cuts
+            # fail it outright; delays do not apply (there is no
+            # "later" for a blocking call).
+            cut = self._crosses_cut(src, dst) or (src, dst) in self._cuts
         if cut:
             raise RpcError(f"rpc {src} -> {dst}: network partition")
         if handler is None:

@@ -60,6 +60,7 @@ class ZabSpecOptions:
         max_restarts: int = 1,
         max_client_requests: int = 0,
         starters: Optional[Iterable[str]] = None,
+        crashers: Optional[Iterable[str]] = None,
         name: str = "zab",
     ):
         self.servers = tuple(servers)
@@ -69,7 +70,22 @@ class ZabSpecOptions:
         self.max_client_requests = max_client_requests
         # model restriction: which nodes may spontaneously start elections
         self.starters = tuple(starters) if starters is not None else tuple(servers)
+        # model restriction: which nodes may crash/restart — restricting
+        # the crash set is the standard TLC trick to keep a
+        # fault-enabled ZAB space tractable (all-servers × crashes
+        # explodes well past 10^5 states)
+        self.crashers = tuple(crashers) if crashers is not None else tuple(servers)
         self.name = name
+
+    def fault_actions(self) -> tuple:
+        """Names of the fault actions this model enables — the legal
+        modeled-injection vocabulary for ``repro.faults.plan_faults``."""
+        names = []
+        if self.max_crashes > 0:
+            names.append("Crash")
+        if self.max_restarts > 0:
+            names.append("Restart")
+        return tuple(names)
 
 
 def _vote_notif(src, dst, rnd, vote):
@@ -489,6 +505,8 @@ def build_zab_spec(options: Optional[ZabSpecOptions] = None) -> Specification:
     @spec.action(params={"i": from_constant("Server")}, kind=ActionKind.FAULT)
     def Crash(state, const, i):
         """The process dies; its durable state is untouched."""
+        if i not in opts.crashers:
+            return None
         if not state.online[i] or state.crashCtr >= const["MaxCrashes"]:
             return None
         return {
@@ -500,6 +518,8 @@ def build_zab_spec(options: Optional[ZabSpecOptions] = None) -> Specification:
     def Restart(state, const, i):
         """The process relaunches: volatile election state resets, the
         persistent epochs and zxid survive."""
+        if i not in opts.crashers:
+            return None
         if state.online[i] or state.restartCtr >= const["MaxRestarts"]:
             return None
         return {

@@ -158,3 +158,93 @@ class TestTranslatorArity:
         mapping.map_variable("n", "shadowN", to_spec=len,
                              compare=lambda *args: True)
         assert lint_codes(spec, mapping) == []
+
+
+def make_budget_spec(max_crashes):
+    """A spec whose fault vocabulary is gated by a budget constant."""
+    spec = Specification("budget", constants={"MaxCrashes": max_crashes})
+    spec.add_variable("n")
+    spec.add_variable("crashes", kind=VarKind.COUNTER)
+
+    @spec.init
+    def init(const):
+        return {"n": 0, "crashes": 0}
+
+    @spec.action()
+    def Incr(state, const):
+        return {"n": state.n + 1}
+
+    @spec.action(kind=ActionKind.FAULT)
+    def Crash(state, const):
+        if state.crashes >= const["MaxCrashes"]:
+            return None
+        return {"crashes": state.crashes + 1}
+
+    return spec
+
+
+def make_budget_mapping(spec):
+    return (SpecMapping(spec)
+            .map_variable("n", "shadowN")
+            .map_action("Incr")
+            .map_crash("Crash"))
+
+
+class TestDormantFaultVocabulary:
+    def test_live_budget_with_fault_hook_is_clean(self):
+        spec = make_budget_spec(max_crashes=1)
+        assert lint_codes(spec, make_budget_mapping(spec)) == []
+
+    def test_mck106_zero_budget_is_dormant(self):
+        spec = make_budget_spec(max_crashes=0)
+        mapping = make_budget_mapping(spec)
+        result = run_lint(LintContext("fixture", spec, mapping))
+        findings = [f for f in result.findings if f.code == "MCK106"]
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+        assert "MaxCrashes" in findings[0].message
+        assert "Crash" in findings[0].message
+
+    def test_mck106_no_fault_hook_in_the_mapping(self):
+        spec = make_budget_spec(max_crashes=1)
+        # Crash mapped, but as a spontaneous action: MCK104 catches the
+        # wrong trigger and MCK106 the undriveable fault vocabulary
+        mapping = (SpecMapping(spec)
+                   .map_variable("n", "shadowN")
+                   .map_action("Incr")
+                   .map_action("Crash"))
+        assert sorted(lint_codes(spec, mapping)) == ["MCK104", "MCK106"]
+
+    def test_constantless_fault_actions_stay_silent(self):
+        # the MCK104 fixture's Crash reads no budget constant: no basis
+        # for a dormancy claim, so MCK106 must not fire (either clause)
+        spec = make_spec()
+        mapping = (SpecMapping(spec)
+                   .map_variable("n", "shadowN")
+                   .map_action("Incr").map_action("Crash")
+                   .map_user_request("Ask", run=lambda c, p, o: None))
+        assert lint_codes(spec, mapping) == ["MCK104"]
+
+    def test_boolean_constants_are_not_budgets(self):
+        spec = Specification("flags", constants={"EnableCrash": False})
+        spec.add_variable("n")
+
+        @spec.init
+        def init(const):
+            return {"n": 0}
+
+        @spec.action()
+        def Incr(state, const):
+            return {"n": state.n + 1}
+
+        @spec.action(kind=ActionKind.FAULT)
+        def Crash(state, const):
+            if not const["EnableCrash"]:
+                return None
+            return {"n": 0}
+
+        mapping = (SpecMapping(spec)
+                   .map_variable("n", "shadowN")
+                   .map_action("Incr")
+                   .map_crash("Crash"))
+        assert lint_codes(spec, mapping) == []

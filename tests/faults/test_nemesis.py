@@ -113,6 +113,147 @@ class TestNemesis:
         assert again.applied == []
 
 
+class TestLinkCut:
+    def test_cut_is_one_way(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.cut_link("n1", "n2")
+        assert network.send("n1", "n2", "held") is True
+        assert network.pending_count("n2") == 0
+        assert network.send("n2", "n1", "through") is True
+        assert network.pending_count("n1") == 1
+
+    def test_rpc_over_a_cut_link_fails(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.cut_link("n1", "n2")
+        with pytest.raises(Exception):
+            network.rpc("n1", "n2", {"op": "ping"})
+
+    def test_heal_releases_held_messages(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.cut_link("n1", "n2")
+        network.send("n1", "n2", "held")
+        assert network.disrupted
+        assert network.heal() == 1
+        assert not network.disrupted
+        assert network.pending_count("n2") == 1
+
+
+class TestDelay:
+    def test_delay_holds_exactly_n_messages(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.delay_link("n1", "n2", 2)
+        for value in range(3):
+            network.send("n1", "n2", value)
+        # first two held, budget exhausted, third sails through
+        assert network.pending_count("n2") == 1
+        assert network.receive("n2").payload == 2
+        network.heal()
+        got = [network.receive("n2").payload for _ in range(2)]
+        assert got == [0, 1]
+
+    def test_delay_rejects_nonpositive_counts(self):
+        network = Network()
+        network.register("n1")
+        network.register("n2")
+        with pytest.raises(ValueError):
+            network.delay_link("n1", "n2", 0)
+
+    def test_delay_accumulates_across_calls(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        network.delay_link("n1", "n2", 1)
+        network.delay_link("n1", "n2", 1)
+        network.send("n1", "n2", "a")
+        network.send("n1", "n2", "b")
+        assert network.pending_count("n2") == 0
+
+
+class TestCorrupt:
+    def test_corrupt_drops_exactly_one_pending_message(self):
+        network = Network()
+        for node in ("n1", "n2"):
+            network.register(node)
+        for value in range(3):
+            network.send("n1", "n2", value)
+        victim = network.corrupt_inbox("n2", random.Random(0))
+        assert victim is not None
+        assert network.pending_count("n2") == 2
+        assert network.corrupt_count == 1
+        assert network.corrupted == [victim]
+
+    def test_corrupt_on_empty_inbox_is_a_noop(self):
+        network = Network()
+        network.register("n1")
+        assert network.corrupt_inbox("n1", random.Random(0)) is None
+        assert network.corrupt_count == 0
+
+    def test_victim_pick_is_seed_deterministic(self):
+        def pick(seed):
+            network = Network()
+            for node in ("n1", "n2"):
+                network.register(node)
+            for value in range(5):
+                network.send("n1", "n2", value)
+            return network.corrupt_inbox("n2", random.Random(seed)).payload
+
+        assert pick(3) == pick(3)
+
+
+@pytest.fixture
+def quiet_cluster():
+    """An undeployed cluster: the nemesis network primitives need
+    registered inboxes, not running node threads — and without
+    consumers, pending counts can be asserted race-free."""
+    from repro.runtime.cluster import Cluster
+
+    built = Cluster(("n1", "n2", "n3"), factory=lambda *a, **k: None)
+    for node_id in built.node_ids:
+        built.network.register(node_id)
+    return built
+
+
+class TestNewKindsViaNemesis:
+    def test_partial_partition_splits_group_from_rest(self, quiet_cluster):
+        nemesis = Nemesis(quiet_cluster, _FakeRuntime(), random.Random(0),
+                          case_id=0)
+        nemesis.apply(chaos(ChaosKind.PARTIAL_PARTITION, group=["n1", "n2"]))
+        network = quiet_cluster.network
+        assert network.send("n3", "n1", "held") is True
+        assert network.pending_count("n1") == 0
+        assert network.send("n1", "n2", "through") is True
+        assert network.pending_count("n2") == 1
+        nemesis.heal_all()
+        assert network.pending_count("n1") == 1
+
+    def test_link_cut_and_delay_flow_through_apply(self, quiet_cluster):
+        nemesis = Nemesis(quiet_cluster, _FakeRuntime(), random.Random(0),
+                          case_id=0)
+        nemesis.apply(chaos(ChaosKind.LINK_CUT, src="n1", dst="n2"))
+        nemesis.apply(chaos(ChaosKind.DELAY, src="n2", dst="n3", count=1))
+        assert quiet_cluster.network.disrupted
+        assert len(nemesis.applied) == 2
+        assert nemesis.heal_all() >= 0
+        assert not quiet_cluster.network.disrupted
+
+    def test_corrupt_summary_names_the_dropped_edge(self, quiet_cluster):
+        quiet_cluster.network.send("n1", "n2", {"x": 1})
+        nemesis = Nemesis(quiet_cluster, _FakeRuntime(), random.Random(0),
+                          case_id=0)
+        summary = nemesis.apply(chaos(ChaosKind.CORRUPT, node="n2"))
+        assert "dropped n1 -> n2" in summary
+        empty = nemesis.apply(chaos(ChaosKind.CORRUPT, node="n3"))
+        assert "no pending messages" in empty
+
+
 class TestIncarnation:
     def test_nodes_report_their_restart_generation(self, cluster):
         assert cluster.node("n1").incarnation == 0

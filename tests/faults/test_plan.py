@@ -147,3 +147,106 @@ class TestApplyPlan:
         plan.modeled()[0].case_id = 10_000
         with pytest.raises(ValueError, match="unknown case"):
             apply_plan(suite, graph, plan)
+
+
+class TestMultiFaultPlanning:
+    """`max_faults_per_case=k`: the widened vocabulary, the per-case
+    legality rules, and the k == 1 compatibility promise."""
+
+    LEGACY_CHAOS = {"partition", "reorder", "bounce", "crash"}
+    WIDE_CHAOS = {"link_cut", "delay", "partial_partition", "corrupt"}
+
+    def chaos_by_case(self, plan):
+        grouped = {}
+        for injection in plan.injections:
+            if injection.mode is InjectionMode.CHAOS:
+                grouped.setdefault(injection.case_id, []).append(injection)
+        return grouped
+
+    def test_budget_below_one_is_rejected(self, kit):
+        _, mapping, graph, suite = kit
+        with pytest.raises(ValueError, match="max_faults_per_case"):
+            plan_faults(graph, suite, mapping, "1", NODE_IDS,
+                        max_faults_per_case=0)
+
+    def test_k1_stays_on_the_legacy_vocabulary(self, kit):
+        _, mapping, graph, suite = kit
+        explicit = plan_faults(graph, suite, mapping, "1", NODE_IDS,
+                               chaos=True, max_faults_per_case=1)
+        implicit = plan_faults(graph, suite, mapping, "1", NODE_IDS,
+                               chaos=True)
+        assert explicit.to_json() == implicit.to_json()
+        chaos_kinds = {i.kind for i in explicit.injections
+                       if i.mode is InjectionMode.CHAOS}
+        assert chaos_kinds <= self.LEGACY_CHAOS
+
+    def test_k3_reaches_the_wide_vocabulary(self, kit):
+        _, mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, "1", NODE_IDS,
+                           chaos=True, max_faults_per_case=3)
+        kinds = {i.kind for i in plan.injections
+                 if i.mode is InjectionMode.CHAOS}
+        assert kinds & self.WIDE_CHAOS
+        assert "corrupt" in kinds  # odd-index chaos cases trade a slot
+
+    def test_k3_respects_the_per_case_budget_and_legality(self, kit):
+        _, mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, "1", NODE_IDS,
+                           chaos=True, max_faults_per_case=3)
+        partition_family = {"partition", "partial_partition"}
+        for case_id, injections in self.chaos_by_case(plan).items():
+            assert len(injections) <= 3, case_id
+            assert sum(1 for i in injections if i.disruptive) <= 1, case_id
+            assert sum(1 for i in injections
+                       if i.kind in partition_family) <= 1, case_id
+
+    def test_k3_is_seed_deterministic(self, kit):
+        _, mapping, graph, suite = kit
+        first = plan_faults(graph, suite, mapping, "9", NODE_IDS,
+                            chaos=True, max_faults_per_case=3)
+        second = plan_faults(graph, suite, mapping, "9", NODE_IDS,
+                             chaos=True, max_faults_per_case=3)
+        assert first.to_json() == second.to_json()
+
+    def test_single_node_cluster_skips_link_kinds(self, kit):
+        _, mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, "1", ["solo"],
+                           chaos=True, max_faults_per_case=3)
+        for injection in plan.injections:
+            if injection.mode is InjectionMode.CHAOS:
+                assert injection.kind not in {"link_cut", "delay",
+                                              "partial_partition"}
+
+    def test_modeled_chains_splice_extra_fault_edges(self, kit):
+        options, mapping, graph, suite = kit
+        single = plan_faults(graph, suite, mapping, "1", NODE_IDS)
+        chained = plan_faults(graph, suite, mapping, "1", NODE_IDS,
+                              max_faults_per_case=3)
+        fault_actions = set(options.fault_actions())
+
+        def chained_faults(plan):
+            return sum(
+                sum(1 for ref in i.tail if ref.label.name in fault_actions)
+                for i in plan.modeled())
+
+        assert chained_faults(single) == 0  # tails prefer non-fault edges
+        assert chained_faults(chained) > 0  # k>1 chains verified faults
+        # the chained plan still materializes as verified graph paths
+        augmented = apply_plan(suite, graph, chained)
+        assert len(augmented) == len(suite) + len(chained.modeled())
+
+    def test_wide_params_are_well_formed(self, kit):
+        _, mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, "3", NODE_IDS,
+                           chaos=True, max_faults_per_case=4)
+        for injection in plan.injections:
+            if injection.kind == "link_cut":
+                assert injection.params["src"] != injection.params["dst"]
+                assert injection.params["heal_after"] >= 1
+            elif injection.kind == "delay":
+                assert injection.params["src"] != injection.params["dst"]
+                assert 1 <= injection.params["count"] <= 3
+            elif injection.kind == "partial_partition":
+                group = injection.params["group"]
+                assert group == sorted(group)
+                assert 1 <= len(group) < len(NODE_IDS)

@@ -1,0 +1,33 @@
+"""Slow guard: shrink cost stays within the ddmin O(n^2) replay bound,
+and the common fault-independent fast path stays a handful of replays.
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import shrink_bench  # noqa: E402  (benchmarks/ is not a package)
+
+
+@pytest.mark.slow
+class TestShrinkReplayGuard:
+    def test_ddmin_stays_under_the_quadratic_bound(self):
+        for row in shrink_bench.bench_ddmin_stress([8, 16, 32, 64]):
+            assert row["converged"], row
+            assert row["minimal"] == 2, row
+            assert row["replays"] <= row["bound_n2_plus_n"], row
+
+    def test_fast_path_needs_only_a_handful_of_replays(self):
+        record = shrink_bench.bench_end_to_end()
+        assert record["fault_independent"], record
+        assert record["replays_to_minimal"] <= record["replay_bound"], record
+
+    def test_bench_script_exits_clean(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_shrink.json"
+        assert shrink_bench.main(["--out", str(out), "--sizes", "8,16"]) == 0
+        assert "record written" in capsys.readouterr().out
+        assert out.exists()
