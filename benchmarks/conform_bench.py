@@ -1,0 +1,174 @@
+"""Benchmark: a ≥1M-event raftkv log must conform in seconds, bounded
+memory, with exact first-divergence localization.
+
+Workload: deterministic graph walks over the canonical raftkv model
+(329 states, 1020 edges) rendered as native obs JSONL ``runner.step``
+records — the shape a production tracer sink writes.  Two phases:
+
+* **replay** — stream the full log through :class:`ConformanceMonitor`
+  and measure events/second.  The log is generated once on disk and
+  never materialized in memory (the adapter and the monitor are both
+  streaming), so peak memory is the frontier cap, not the log size.
+* **localize** — corrupt one step's action at a known line, replay
+  again, and assert the reported first divergence is exactly that line.
+
+Writes a ``BENCH_conform.json`` record and exits non-zero when
+throughput falls below the floor, the valid log fails to conform, or
+divergence localization misses the seeded line.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/conform_bench.py
+        [--events 1000000] [--floor 50000] [--out BENCH_conform.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.conform import ConformanceMonitor, ConformanceOptions, get_adapter
+from repro.engine import canonicalize
+from repro.obs.tracer import jsonable
+from repro.specs.raft import RaftSpecOptions, build_raft_spec
+from repro.tlaplus import check
+
+
+def build_graph():
+    spec = build_raft_spec(RaftSpecOptions(
+        max_term=1, max_client_requests=0, candidates=("n1",),
+        enable_drop=False, enable_duplicate=False, name="raftkv-model"))
+    return canonicalize(check(spec).graph)
+
+
+def generate_log(graph, path: str, events: int,
+                 corrupt_at: int = 0) -> int:
+    """Write ``events`` runner.step records of deterministic graph
+    walks; returns the 1-based line of the corrupted record (0 if none).
+
+    Sessions restart from the initial states whenever a walk hits a
+    terminal state, so the log length is unbounded by the graph depth.
+    """
+    corrupted_line = 0
+    with open(path, "w", encoding="utf-8", buffering=1 << 20) as handle:
+        seq = 0
+        session = 0
+        while seq < events:
+            current = graph.initial_ids[0]
+            step = 0
+            while seq < events:
+                edges = graph.out_edges(current)
+                if not edges:
+                    break
+                edges = sorted(edges, key=lambda e: (e.label.name, e.dst))
+                edge = edges[(step * 7 + session * 3) % len(edges)]
+                action = edge.label.name
+                if corrupt_at and seq + 1 == corrupt_at:
+                    action = "NoSuchAction"
+                    corrupted_line = seq + 1
+                record = {
+                    "seq": seq, "ts": float(seq), "kind": "span",
+                    "name": "runner.step", "dur": 0.0001,
+                    "fields": {"case": session, "step": step,
+                               "action": action, "outcome": "ok",
+                               "params": jsonable(edge.label.params)},
+                }
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                seq += 1
+                step += 1
+                current = edge.dst
+            session += 1
+    return corrupted_line
+
+
+def replay(graph, path: str) -> dict:
+    monitor = ConformanceMonitor(graph, options=ConformanceOptions())
+    adapter = get_adapter("obs")
+    started = time.perf_counter()
+    report = monitor.run(adapter.read(path), log=path, adapter="obs")
+    elapsed = time.perf_counter() - started
+    return {
+        "verdict": report.verdict,
+        "events": report.events,
+        "sessions": report.sessions,
+        "frontier_peak": report.frontier_peak,
+        "spilled": report.spilled,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(report.events / elapsed) if elapsed else 0,
+        "first_divergence_line": (report.first_divergence.line
+                                  if report.first_divergence else None),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=1_000_000,
+                        help="log size in events (default: 1000000)")
+    parser.add_argument("--floor", type=int, default=50_000,
+                        help="minimum acceptable events/sec (default: 50000)")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_conform.json"))
+    args = parser.parse_args(argv)
+
+    graph = build_graph()
+    corrupt_at = max(2, args.events // 2)
+
+    with tempfile.TemporaryDirectory(prefix="conform-bench-") as tmp:
+        good = os.path.join(tmp, "good.jsonl")
+        bad = os.path.join(tmp, "bad.jsonl")
+        gen_started = time.perf_counter()
+        generate_log(graph, good, args.events)
+        gen_seconds = time.perf_counter() - gen_started
+        seeded_line = generate_log(graph, bad, args.events,
+                                   corrupt_at=corrupt_at)
+        log_bytes = os.path.getsize(good)
+        good_run = replay(graph, good)
+        bad_run = replay(graph, bad)
+
+    record = {
+        "bench": "conform",
+        "spec": graph.spec_name,
+        "graph": graph.stats(),
+        "events": args.events,
+        "log_bytes": log_bytes,
+        "generate_seconds": round(gen_seconds, 4),
+        "floor_events_per_sec": args.floor,
+        "replay": good_run,
+        "localize": {**bad_run, "seeded_line": seeded_line},
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    print(f"replay: {good_run['events']} events in {good_run['seconds']}s "
+          f"({good_run['events_per_sec']}/s, verdict {good_run['verdict']}, "
+          f"frontier peak {good_run['frontier_peak']})")
+    print(f"localize: seeded line {seeded_line} -> reported "
+          f"{bad_run['first_divergence_line']} "
+          f"({bad_run['seconds']}s)")
+    print(f"record written to {out_path}")
+
+    if good_run["verdict"] != "conforms":
+        print("FAIL: the valid log did not conform", file=sys.stderr)
+        return 1
+    if good_run["events_per_sec"] < args.floor:
+        print(f"FAIL: {good_run['events_per_sec']} events/sec is below the "
+              f"floor of {args.floor}", file=sys.stderr)
+        return 1
+    if bad_run["verdict"] != "diverged" \
+            or bad_run["first_divergence_line"] != seeded_line:
+        print(f"FAIL: seeded divergence at line {seeded_line} reported as "
+              f"{bad_run['first_divergence_line']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

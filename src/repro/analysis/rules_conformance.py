@@ -176,6 +176,31 @@ class DormantFaultVocabularyRule(Rule):
                 obj=f"mapping.{ctx.spec.name}")
 
 
+@register
+class UnboundConformActionRule(Rule):
+    code = "MCK107"
+    name = "unbound-conform-action"
+    severity = Severity.WARNING
+    requires = ("spec", "mapping")
+    description = ("The mapping binds log events for trace conformance "
+                   "(``mocket conform``) but leaves a spec action with no "
+                   "event binding; occurrences of that action are "
+                   "invisible to the monitor, so the walk treats it as "
+                   "silently-takable and divergence detection weakens.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.mapping.events:
+            return  # mapping not used for conformance; nothing to check
+        bound = ctx.mapping.bound_actions()
+        for name in sorted(ctx.spec.actions):
+            if name not in bound:
+                yield self.finding(
+                    f"spec action {name!r} has no event binding; the "
+                    f"conformance monitor cannot observe it "
+                    f"(bind_event/bind_default_events)",
+                    obj=f"mapping.{ctx.spec.name}/action.{name}")
+
+
 def _mapped_impl_names(ctx: LintContext) -> Set[str]:
     """Shadow-store keys the state checker will read for this mapping."""
     return {vmap.impl_name for vmap in ctx.mapping.variables.values()

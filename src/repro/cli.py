@@ -18,8 +18,15 @@ Subcommands mirror the pipeline stages:
 * ``mocket lint TARGET``   — static conformance analysis of a bundled
   system (spec + mapping + instrumented source) or bare spec; rule
   catalogue in docs/ANALYSIS.md,
-* ``mocket trace summarize FILE`` — reload a JSONL trace and print the
-  reconstructed per-case timelines.
+* ``mocket conform LOG --spec TARGET`` — validate an externally
+  captured log (production, staging, foreign test rig) against the
+  spec's verified state graph; reports the first divergent log line
+  with a ranked near-miss explanation (``--format json`` for the
+  stable v1 envelope, ``--stream`` for incremental progress; see
+  docs/CONFORMANCE.md),
+* ``mocket trace summarize FILE`` — reload a JSONL trace (streaming,
+  bounded memory) and print the reconstructed per-case timelines
+  (``--format json`` for the stable v1 envelope).
 
 ``check``, ``testgen`` and ``test`` all take ``--trace FILE`` (write a
 JSONL trace of the run) and ``--metrics`` (print the metrics table at
@@ -481,9 +488,83 @@ def _cmd_lint(args) -> int:
 def _cmd_trace(args) -> int:
     if args.trace_command == "summarize":
         reader = TraceReader.from_file(args.file)
-        print(reader.summarize(max_cases=args.cases))
+        if getattr(args, "format", "text") == "json":
+            import json
+
+            print(json.dumps(reader.summary_dict(max_cases=args.cases),
+                             indent=2, sort_keys=True))
+        else:
+            print(reader.summarize(max_cases=args.cases))
         return 0
     raise SystemExit(f"unknown trace subcommand {args.trace_command!r}")
+
+
+#: conform targets: systems resolve spec + event bindings, models are bare
+_CONFORM_SYSTEMS = ("toycache", "pyxraft", "raftkv", "minizk")
+_CONFORM_SPECS = ("example", "xraft", "zab")
+
+
+def _conform_kit(name: str):
+    """(spec, mapping-or-None) for a conform target.
+
+    System targets carry a mapping whose event bindings translate log
+    events into spec actions; bare models assume events name actions
+    directly.  ``raftkv`` names both a system and a model — the system
+    (with its bindings) wins, as in ``mocket test``.
+    """
+    if name in _CONFORM_SYSTEMS:
+        spec, mapping, _factory = _target_kit(name, None)
+        return spec, mapping
+    if name in _CONFORM_SPECS:
+        return _build_model(name), None
+    known = "|".join(_CONFORM_SYSTEMS + _CONFORM_SPECS)
+    raise SystemExit(f"unknown conform target {name!r} ({known})")
+
+
+def _cmd_conform(args) -> int:
+    from .conform import ConformanceMonitor, ConformanceOptions, get_adapter
+
+    def command() -> int:
+        spec, mapping = _conform_kit(args.spec)
+        graph = check(spec, max_states=args.max_states, truncate=True,
+                      **_check_kwargs(args)).graph
+        options = ConformanceOptions(max_frontier=args.max_frontier,
+                                     explain=args.explain,
+                                     ignore_unknown=args.ignore_unknown)
+        monitor = ConformanceMonitor(graph, mapping, options)
+        try:
+            adapter = get_adapter(args.adapter)
+        except ValueError as exc:
+            print(f"conform: {exc}", file=sys.stderr)
+            return 2
+        if args.log == "-":
+            source, label = sys.stdin, "<stdin>"
+        else:
+            source, label = args.log, args.log
+        try:
+            if args.stream:
+                # incremental mode: deterministic count-based progress
+                # (never timing-based — output stays byte-identical)
+                for event in adapter.read(source):
+                    monitor.feed(event)
+                    if args.progress and monitor.events % args.progress == 0:
+                        print(f"... {monitor.events} events, frontier "
+                              f"{len(monitor.frontier)}", file=sys.stderr)
+                report = monitor.finish(log=label, adapter=args.adapter)
+            else:
+                report = monitor.run(adapter.read(source), log=label,
+                                     adapter=args.adapter)
+        except FileNotFoundError:
+            print(f"conform: no such log: {args.log}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"conform: {exc}", file=sys.stderr)
+            return 2
+        print(report.to_json() if args.format == "json"
+              else report.render_text())
+        return 0 if report.ok else 1
+
+    return _with_obs(args, command)
 
 
 def _cmd_bugs(args) -> int:
@@ -696,6 +777,45 @@ def main(argv: Optional[list] = None) -> int:
              "exist (default: error)")
     p_lint.set_defaults(func=_cmd_lint)
 
+    p_conform = sub.add_parser(
+        "conform",
+        help="validate a captured log against the spec's state graph")
+    p_conform.add_argument("log",
+                           help="the log file to validate ('-' reads stdin)")
+    p_conform.add_argument(
+        "--spec", required=True, metavar="TARGET",
+        help="a system (toycache|pyxraft|raftkv|minizk: spec + event "
+             "bindings) or a bare model (example|xraft|zab)")
+    p_conform.add_argument(
+        "--adapter", default="obs", metavar="NAME",
+        help="log format adapter: 'obs' (native JSONL traces) or 'jsonl' "
+             "(one {\"action\": ...} object per line); default: obs")
+    p_conform.add_argument("--format", choices=("text", "json"),
+                           default="text",
+                           help="json prints the stable v1 envelope")
+    p_conform.add_argument(
+        "--stream", action="store_true",
+        help="incremental mode: print count-based progress to stderr "
+             "while the log is consumed")
+    p_conform.add_argument(
+        "--progress", type=int, default=100_000, metavar="N",
+        help="with --stream, report every N events (default: 100000)")
+    p_conform.add_argument(
+        "--max-frontier", type=int, default=4096, metavar="N",
+        help="cap the tracked state set at N (TLC-style bounded memory; "
+             "lowest canonical ids kept on spill; default: 4096)")
+    p_conform.add_argument(
+        "--explain", type=int, default=5, metavar="K",
+        help="list up to K near-miss transitions at a divergence "
+             "(default: 5)")
+    p_conform.add_argument(
+        "--ignore-unknown", action="store_true",
+        help="skip events with no spec binding instead of diverging")
+    p_conform.add_argument("--max-states", type=int, default=100_000)
+    add_engine_flags(p_conform)
+    add_obs_flags(p_conform)
+    p_conform.set_defaults(func=_cmd_conform)
+
     p_trace = sub.add_parser("trace", help="work with recorded JSONL traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_sum = trace_sub.add_parser(
@@ -703,6 +823,8 @@ def main(argv: Optional[list] = None) -> int:
     p_sum.add_argument("file")
     p_sum.add_argument("--cases", type=int, default=None,
                        help="show at most N case timelines")
+    p_sum.add_argument("--format", choices=("text", "json"), default="text",
+                       help="json prints the stable v1 summary envelope")
     p_sum.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,49 @@
+"""Production trace conformance: validate captured logs against the spec.
+
+The model checking guided pipeline verifies a spec, explores its state
+graph and drives the implementation along verified paths.  This package
+closes the remaining gap: logs captured *outside* the harness — from a
+staging cluster, a production incident, a foreign test rig — are
+replayed through the same canonical state graph after the fact.  Because
+a log is only a partial observation, the monitor tracks the full set of
+compatible spec states and reports the first line at which no spec
+behaviour remains, with a ranked near-miss explanation.
+
+Layers:
+
+* :mod:`repro.conform.adapters` — pluggable streaming log parsers
+  (native ``repro.obs`` JSONL plus a minimal foreign ``jsonl`` schema).
+* :mod:`repro.conform.monitor` — the frontier-set walk over the
+  canonicalized graph, with TLC-style bounded memory.
+* :mod:`repro.conform.report` — deterministic, timing-free verdicts.
+
+CLI: ``mocket conform LOG --spec <target>`` (docs/CONFORMANCE.md).
+"""
+
+from .adapters import (
+    ActionJsonlAdapter,
+    LogAdapter,
+    LogEvent,
+    ObsJsonlAdapter,
+    adapter_names,
+    get_adapter,
+    register_adapter,
+)
+from .monitor import ConformanceMonitor, ConformanceOptions, conform_log
+from .report import ConformanceReport, LogDivergence, NearMiss
+
+__all__ = [
+    "ActionJsonlAdapter",
+    "ConformanceMonitor",
+    "ConformanceOptions",
+    "ConformanceReport",
+    "LogAdapter",
+    "LogDivergence",
+    "LogEvent",
+    "NearMiss",
+    "ObsJsonlAdapter",
+    "adapter_names",
+    "conform_log",
+    "get_adapter",
+    "register_adapter",
+]

@@ -13,6 +13,7 @@ from .annotations import (
 from .kinds import FaultKind, MessageCheckMode, TriggerKind
 from .registry import (
     ActionMapping,
+    EventBinding,
     MappingError,
     MappingProblem,
     SpecMapping,
@@ -22,6 +23,7 @@ from .registry import (
 __all__ = [
     "ActionMapping",
     "ActionScope",
+    "EventBinding",
     "FaultKind",
     "MappingError",
     "MappingProblem",

@@ -29,6 +29,7 @@ __all__ = [
     "MappingProblem",
     "VariableMapping",
     "ActionMapping",
+    "EventBinding",
     "SpecMapping",
     "UNMAPPED_VARIABLE",
     "FORBIDDEN_MAPPING",
@@ -120,6 +121,29 @@ class ActionMapping:
         return f"ActionMapping({self.spec_name!r}, {self.trigger.value})"
 
 
+class EventBinding:
+    """How one logged event name resolves to a spec action.
+
+    Trace conformance (:mod:`repro.conform`) validates externally
+    captured logs against the verified state graph; the binding table
+    is the log-side twin of the action table: it says which spec action
+    a logged event *witnesses*, and optionally how to translate the
+    event's raw fields into that action's parameter binding.
+    """
+
+    __slots__ = ("event_name", "action", "params")
+
+    def __init__(self, event_name: str, action: str,
+                 params: Optional[Callable[[Mapping[str, Any]],
+                                           Mapping[str, Any]]] = None):
+        self.event_name = event_name   # the name as it appears in the log
+        self.action = action           # the spec action it witnesses
+        self.params = params           # fields -> spec params (None: identity)
+
+    def __repr__(self) -> str:
+        return f"EventBinding({self.event_name!r} -> {self.action!r})"
+
+
 class SpecMapping:
     """The full mapping between a specification and a system under test."""
 
@@ -129,6 +153,7 @@ class SpecMapping:
         self.message_check = message_check
         self.variables: Dict[str, VariableMapping] = {}
         self.actions: Dict[str, ActionMapping] = {}
+        self.events: Dict[str, EventBinding] = {}
         self._const_to_impl: Dict[Any, Any] = {}
         self._impl_to_const: Dict[Any, Any] = {}
 
@@ -242,6 +267,42 @@ class SpecMapping:
             duplicate=duplicate,
         )
         return self
+
+    # -- event bindings (trace conformance) ----------------------------------------------
+    def bind_event(self, event_name: str, action: Optional[str] = None,
+                   params: Optional[Callable[[Mapping[str, Any]],
+                                             Mapping[str, Any]]] = None) -> "SpecMapping":
+        """Bind a logged event name to the spec action it witnesses.
+
+        ``action`` defaults to ``event_name`` (the native ``repro.obs``
+        format logs spec action names directly); ``params(fields)``
+        optionally translates the event's raw fields into the action's
+        parameter binding for foreign log formats.
+        """
+        action = action or event_name
+        self._require_action(action)
+        self.events[event_name] = EventBinding(event_name, action, params)
+        return self
+
+    def bind_default_events(self) -> "SpecMapping":
+        """Identity-bind every spec action not yet bound to an event.
+
+        This is the native-format default: the testbed's ``runner.step``
+        records carry the spec action name, so every action is
+        observable under its own name.  Explicit :meth:`bind_event`
+        calls made beforehand are preserved.
+        """
+        for name in self.spec.actions:
+            if name not in self.events:
+                self.events[name] = EventBinding(name, name)
+        return self
+
+    def event_binding(self, event_name: str) -> Optional[EventBinding]:
+        return self.events.get(event_name)
+
+    def bound_actions(self) -> set:
+        """Spec actions witnessed by at least one event binding."""
+        return {binding.action for binding in self.events.values()}
 
     # -- validation ----------------------------------------------------------------------
     def problems(self) -> List[MappingProblem]:

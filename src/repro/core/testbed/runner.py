@@ -174,7 +174,8 @@ class ControlledTester:
                      request_threads: List[threading.Thread]) -> Optional[Divergence]:
         """One step wrapped in a ``runner.step`` span + wall-time metric."""
         with TRACER.span("runner.step", case=case.case_id, step=index,
-                         action=step.label.name) as step_span:
+                         action=step.label.name,
+                         params=dict(step.label.params)) as step_span:
             step_start = time.monotonic()
             divergence = self._execute_step(index, step, runtime, cluster,
                                             checker, occurrences,

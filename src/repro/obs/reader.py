@@ -6,16 +6,28 @@ step index, action name and outcome.  :class:`TraceReader` groups those
 records back into :class:`CaseTimeline` objects — the structured input
 a divergence replayer (or a human) needs to see what actually ran, in
 what order, and how long each step took.
+
+Reading is *lazy*: :meth:`TraceReader.from_file` opens nothing until the
+trace is consumed, and :meth:`TraceReader.iter_events` streams records
+one line at a time (the sink writes records under a lock with an
+incrementing ``seq``, so file order **is** seq order — no sort pass
+needed).  Both :meth:`summarize` and ``mocket conform`` ride this path,
+so multi-gigabyte traces never have to fit in memory; accessing
+:attr:`events` materializes the list for callers that need random
+access.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from .tracer import TraceEvent
 
 __all__ = ["StepRecord", "FaultRecord", "CaseTimeline", "TraceReader"]
+
+#: JSON envelope version for ``mocket trace summarize --format json``.
+SUMMARY_VERSION = 1
 
 
 class StepRecord:
@@ -80,17 +92,91 @@ class CaseTimeline:
                 f"{self.outcome})")
 
 
+def _apply(timelines: Dict[int, CaseTimeline], event: TraceEvent,
+           keep: Optional[set] = None) -> None:
+    """Fold one record into the timeline map (shared by the eager
+    :meth:`TraceReader.case_timelines` and the streaming summarizer).
+
+    ``keep`` bounds detail reconstruction: case ids outside it only get
+    an (empty) timeline with outcome tracking, not per-step records.
+    """
+    if event.name not in ("runner.step", "fault.inject", "fault.heal",
+                          "runner.case"):
+        return
+    fields = event.fields
+    case_id = fields.get("case")
+    if case_id is None:
+        return
+    timeline = timelines.get(case_id)
+    if timeline is None:
+        timeline = timelines[case_id] = CaseTimeline(case_id)
+    detailed = keep is None or case_id in keep
+    if event.name == "runner.step":
+        if detailed:
+            timeline.steps.append(StepRecord(
+                index=fields.get("step", -1),
+                action=fields.get("action", "?"),
+                ts=event.ts,
+                dur=event.dur,
+                outcome=fields.get("outcome", "ok"),
+            ))
+    elif event.name == "fault.inject":
+        if detailed:
+            params = fields.get("params") or {}
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+            timeline.faults.append(FaultRecord(
+                kind=fields.get("kind", "?"),
+                step=fields.get("step"),
+                ts=event.ts,
+                detail=detail,
+            ))
+    elif event.name == "fault.heal":
+        if detailed:
+            timeline.faults.append(FaultRecord(
+                kind="heal",
+                step=None,
+                ts=event.ts,
+                detail=f"released {fields.get('released', 0)} messages",
+            ))
+    elif event.name == "runner.case":
+        timeline.outcome = fields.get("outcome", "unknown")
+        timeline.ts = event.ts
+        timeline.dur = event.dur
+
+
 class TraceReader:
     """Parsed trace plus timeline reconstruction and summaries."""
 
-    def __init__(self, events: Iterable[TraceEvent]):
-        self.events: List[TraceEvent] = sorted(events, key=lambda e: e.seq)
+    def __init__(self, events: Optional[Iterable[TraceEvent]] = None,
+                 path: Optional[str] = None):
+        self._path = path
+        self._events: Optional[List[TraceEvent]] = (
+            None if events is None else sorted(events, key=lambda e: e.seq))
+        if self._events is None and path is None:
+            self._events = []
 
     @classmethod
     def from_file(cls, path: str) -> "TraceReader":
-        """Load a JSONL trace written by the tracer's sink."""
-        events = []
-        with open(path, "r", encoding="utf-8") as handle:
+        """Attach to a JSONL trace written by the tracer's sink.
+
+        Lazy: no I/O happens until the trace is consumed — iterate
+        :meth:`iter_events` for a constant-memory streaming pass, or
+        touch :attr:`events` to materialize the whole list.
+        """
+        return cls(path=path)
+
+    # -- streaming ------------------------------------------------------------
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Stream records in seq order without materializing the trace.
+
+        The sink appends records under a lock with an incrementing
+        ``seq``, so file order is already seq order.  Malformed lines
+        raise ``ValueError`` tagged with path and line number.
+        """
+        if self._events is not None:
+            yield from self._events
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
             for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
@@ -99,32 +185,39 @@ class TraceReader:
                     record = json.loads(line)
                 except json.JSONDecodeError as exc:
                     raise ValueError(
-                        f"{path}:{line_no}: not a JSONL trace record: {exc}"
-                    ) from exc
-                events.append(TraceEvent.from_dict(record))
-        return cls(events)
+                        f"{self._path}:{line_no}: not a JSONL trace record: "
+                        f"{exc}") from exc
+                yield TraceEvent.from_dict(record)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The full record list (materializes a lazy reader on first use)."""
+        if self._events is None:
+            self._events = sorted(self.iter_events(), key=lambda e: e.seq)
+        return self._events
 
     # -- queries --------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.events)
 
     def by_name(self, name: str) -> List[TraceEvent]:
-        return [event for event in self.events if event.name == name]
+        return [event for event in self.iter_events() if event.name == name]
 
     def names(self) -> Dict[str, int]:
         """Record count per event name (sorted for determinism)."""
         counts: Dict[str, int] = {}
-        for event in self.events:
+        for event in self.iter_events():
             counts[event.name] = counts.get(event.name, 0) + 1
         return dict(sorted(counts.items()))
 
     def duration(self) -> float:
         """Wall-clock distance between the first and last record."""
-        if not self.events:
-            return 0.0
-        start = min(event.ts for event in self.events)
-        end = max(event.ts + (event.dur or 0.0) for event in self.events)
-        return end - start
+        start = end = None
+        for event in self.iter_events():
+            stop = event.ts + (event.dur or 0.0)
+            start = event.ts if start is None else min(start, event.ts)
+            end = stop if end is None else max(end, stop)
+        return 0.0 if start is None else end - start
 
     # -- reconstruction -------------------------------------------------------
     def case_timelines(self) -> Dict[int, CaseTimeline]:
@@ -136,58 +229,14 @@ class TraceReader:
         timeline, with outcome ``"unknown"``.
         """
         timelines: Dict[int, CaseTimeline] = {}
-
-        def timeline(case_id: int) -> CaseTimeline:
-            if case_id not in timelines:
-                timelines[case_id] = CaseTimeline(case_id)
-            return timelines[case_id]
-
-        for event in self.events:
-            fields = event.fields
-            if event.name == "runner.step" and "case" in fields:
-                timeline(fields["case"]).steps.append(StepRecord(
-                    index=fields.get("step", -1),
-                    action=fields.get("action", "?"),
-                    ts=event.ts,
-                    dur=event.dur,
-                    outcome=fields.get("outcome", "ok"),
-                ))
-            elif event.name == "fault.inject" and "case" in fields:
-                params = fields.get("params") or {}
-                detail = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
-                timeline(fields["case"]).faults.append(FaultRecord(
-                    kind=fields.get("kind", "?"),
-                    step=fields.get("step"),
-                    ts=event.ts,
-                    detail=detail,
-                ))
-            elif event.name == "fault.heal" and "case" in fields:
-                timeline(fields["case"]).faults.append(FaultRecord(
-                    kind="heal",
-                    step=None,
-                    ts=event.ts,
-                    detail=f"released {fields.get('released', 0)} messages",
-                ))
-            elif event.name == "runner.case" and "case" in fields:
-                line = timeline(fields["case"])
-                line.outcome = fields.get("outcome", "unknown")
-                line.ts = event.ts
-                line.dur = event.dur
-        for line in timelines.values():
-            line.steps.sort(key=lambda step: (step.index, step.ts))
+        for event in self.iter_events():
+            _apply(timelines, event)
+        for timeline in timelines.values():
+            timeline.steps.sort(key=lambda step: (step.index, step.ts))
         return timelines
 
-    def shrink_summary(self) -> Optional[str]:
-        """One-line digest of a shrink run recorded in this trace.
-
-        ``mocket faults shrink --log`` writes ``shrink.*`` records; the
-        final ``shrink.done`` carries the whole outcome.  Returns
-        ``None`` when the trace holds no completed shrink run.
-        """
-        done = self.by_name("shrink.done")
-        if not done:
-            return None
-        fields = done[-1].fields
+    @staticmethod
+    def _shrink_line(fields: Dict[str, Any]) -> str:
         tag = (" (fault-independent)"
                if fields.get("fault_independent") else "")
         status = "" if fields.get("converged", True) else " [budget exhausted]"
@@ -197,46 +246,166 @@ class TraceReader:
                 f"{fields.get('replays', '?')} replays{status}; "
                 f"reproduces: {signature}{tag}")
 
+    @staticmethod
+    def _conform_line(fields: Dict[str, Any]) -> str:
+        line = (f"conformance: {fields.get('verdict', '?')} "
+                f"({fields.get('events', '?')} events, "
+                f"{fields.get('sessions', '?')} sessions, "
+                f"spec {fields.get('spec', '?')})")
+        if fields.get("line") is not None:
+            line += (f"; first divergence at line {fields['line']} "
+                     f"({fields.get('action', '?')!r})")
+        return line
+
+    def shrink_summary(self) -> Optional[str]:
+        """One-line digest of a shrink run recorded in this trace.
+
+        ``mocket faults shrink --log`` writes ``shrink.*`` records; the
+        final ``shrink.done`` carries the whole outcome.  Returns
+        ``None`` when the trace holds no completed shrink run.
+        """
+        done = self.by_name("shrink.done")
+        return self._shrink_line(done[-1].fields) if done else None
+
+    def conform_summary(self) -> Optional[str]:
+        """One-line digest of a conformance run recorded in this trace.
+
+        ``mocket conform --trace`` writes ``conform.*`` records; the
+        final ``conform.done`` carries the verdict.  Returns ``None``
+        when the trace holds no completed conformance run.
+        """
+        done = self.by_name("conform.done")
+        return self._conform_line(done[-1].fields) if done else None
+
+    # -- summaries ------------------------------------------------------------
+    def _scan(self, max_cases: Optional[int] = None) -> Dict[str, Any]:
+        """One streaming pass gathering everything a summary needs.
+
+        Per-step detail is only reconstructed for the first
+        ``max_cases`` distinct cases; later cases still contribute to
+        the totals and outcome counts, so memory stays proportional to
+        the number of *cases shown*, not the number of records.
+        """
+        records = 0
+        start = end = None
+        counts: Dict[str, int] = {}
+        shrink_fields = conform_fields = None
+        timelines: Dict[int, CaseTimeline] = {}
+        keep: Optional[set] = set() if max_cases is not None else None
+        for event in self.iter_events():
+            records += 1
+            stop = event.ts + (event.dur or 0.0)
+            start = event.ts if start is None else min(start, event.ts)
+            end = stop if end is None else max(end, stop)
+            counts[event.name] = counts.get(event.name, 0) + 1
+            if event.name == "shrink.done":
+                shrink_fields = event.fields
+            elif event.name == "conform.done":
+                conform_fields = event.fields
+            if keep is not None and event.name in (
+                    "runner.step", "fault.inject", "fault.heal",
+                    "runner.case"):
+                case_id = event.fields.get("case")
+                if case_id is not None and case_id not in keep:
+                    if len(keep) < max_cases:
+                        keep.add(case_id)
+            _apply(timelines, event, keep)
+        for timeline in timelines.values():
+            timeline.steps.sort(key=lambda step: (step.index, step.ts))
+        return {
+            "records": records,
+            "duration": 0.0 if start is None else end - start,
+            "names": dict(sorted(counts.items())),
+            "timelines": timelines,
+            "shown": (len(timelines) if max_cases is None
+                      else min(max_cases, len(timelines))),
+            "shrink": shrink_fields,
+            "conform": conform_fields,
+        }
+
+    def summary_dict(self, max_cases: Optional[int] = None) -> Dict[str, Any]:
+        """The stable v1 JSON envelope for ``trace summarize --format json``."""
+        scan = self._scan(max_cases)
+        timelines = scan["timelines"]
+        shown = list(timelines.values())[: scan["shown"]]
+        return {
+            "version": SUMMARY_VERSION,
+            "records": scan["records"],
+            "duration": round(scan["duration"], 6),
+            "names": scan["names"],
+            "cases": {
+                "total": len(timelines),
+                "divergent": sum(1 for t in timelines.values() if not t.passed),
+                "shown": [
+                    {
+                        "case": t.case_id,
+                        "outcome": t.outcome,
+                        "steps": [
+                            {"index": s.index, "action": s.action,
+                             "outcome": s.outcome}
+                            for s in t.steps
+                        ],
+                        "faults": [
+                            {"kind": f.kind, "step": f.step, "detail": f.detail}
+                            for f in t.faults
+                        ],
+                    }
+                    for t in shown
+                ],
+            },
+            "shrink": (self._shrink_line(scan["shrink"])
+                       if scan["shrink"] else None),
+            "conformance": dict(scan["conform"]) if scan["conform"] else None,
+        }
+
     # -- human output ---------------------------------------------------------
     def summarize(self, max_cases: Optional[int] = None) -> str:
-        """A text report: totals, per-name counts, per-case timelines."""
+        """A text report: totals, per-name counts, per-case timelines.
+
+        Single streaming pass — safe on traces far larger than memory.
+        """
+        scan = self._scan(max_cases)
         lines: List[str] = [
-            f"trace: {len(self.events)} records over {self.duration():.3f}s"
+            f"trace: {scan['records']} records over {scan['duration']:.3f}s"
         ]
-        counts = self.names()
+        counts = scan["names"]
         if counts:
             lines.append("records by name:")
             width = max(len(name) for name in counts)
             for name, count in counts.items():
                 lines.append(f"  {name.ljust(width)}  {count}")
-        shrink = self.shrink_summary()
-        if shrink:
-            lines.append(shrink)
-        timelines = self.case_timelines()
+        if scan["shrink"]:
+            lines.append(self._shrink_line(scan["shrink"]))
+        if scan["conform"]:
+            lines.append(self._conform_line(scan["conform"]))
+        timelines = scan["timelines"]
         if timelines:
-            divergent = sum(1 for line in timelines.values() if not line.passed)
+            divergent = sum(1 for t in timelines.values() if not t.passed)
             lines.append(f"cases: {len(timelines)} ({divergent} divergent)")
-            shown = list(timelines.values())
-            if max_cases is not None:
-                shown = shown[:max_cases]
-            for line in shown:
-                dur = f", {line.dur:.3f}s" if line.dur is not None else ""
-                injected = (f", {len(line.faults)} fault events"
-                            if line.faults else "")
-                lines.append(f"  case #{line.case_id}: {line.step_count} steps, "
-                             f"{line.outcome}{dur}{injected}")
-                for step in line.steps:
+            shown = list(timelines.values())[: scan["shown"]]
+            for timeline in shown:
+                dur = (f", {timeline.dur:.3f}s"
+                       if timeline.dur is not None else "")
+                injected = (f", {len(timeline.faults)} fault events"
+                            if timeline.faults else "")
+                lines.append(f"  case #{timeline.case_id}: "
+                             f"{timeline.step_count} steps, "
+                             f"{timeline.outcome}{dur}{injected}")
+                for step in timeline.steps:
                     dur = f"{step.dur:.6f}s" if step.dur is not None else "?"
                     lines.append(f"    [{step.index}] {step.action}  {dur}  "
                                  f"{step.outcome}")
-                for fault in line.faults:
+                for fault in timeline.faults:
                     at = (f"before step {fault.step}"
                           if fault.step is not None else "on retry/teardown")
                     lines.append(f"    !! {fault.kind} {at}"
                                  f"{'  ' + fault.detail if fault.detail else ''}")
-            if max_cases is not None and len(timelines) > max_cases:
-                lines.append(f"  ... {len(timelines) - max_cases} more cases")
+            if len(timelines) > scan["shown"]:
+                lines.append(f"  ... {len(timelines) - scan['shown']} "
+                             f"more cases")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
-        return f"TraceReader({len(self.events)} records)"
+        if self._events is None:
+            return f"TraceReader(lazy, {self._path!r})"
+        return f"TraceReader({len(self._events)} records)"

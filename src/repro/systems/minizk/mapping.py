@@ -93,5 +93,6 @@ def build_minizk_mapping(spec: Specification,
     mapping.map_crash("Crash", node_param="i")
     mapping.map_restart("Restart", node_param="i")
 
+    mapping.bind_default_events()
     mapping.validate()
     return mapping

@@ -113,5 +113,6 @@ def build_xraft_mapping(spec: Specification,
     if "DuplicateMessage" in spec.actions:
         mapping.map_duplicate("DuplicateMessage", _reinject_duplicate)
 
+    mapping.bind_default_events()
     mapping.validate()
     return mapping

@@ -85,5 +85,6 @@ def build_raftkv_mapping(spec: Specification,
         # surfaces the spec bug: the scheduled action never notifies.
         mapping.map_action("UpdateTerm")
 
+    mapping.bind_default_events()
     mapping.validate()
     return mapping

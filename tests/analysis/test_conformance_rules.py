@@ -248,3 +248,31 @@ class TestDormantFaultVocabulary:
                    .map_action("Incr")
                    .map_crash("Crash"))
         assert lint_codes(spec, mapping) == []
+
+
+class TestUnboundConformAction:
+    def test_no_event_bindings_stays_silent(self):
+        # a mapping never used for conformance must not be nagged
+        spec = make_spec()
+        assert "MCK107" not in lint_codes(spec, make_mapping(spec))
+
+    def test_mck107_partial_bindings_flag_the_rest(self):
+        spec = make_spec()
+        mapping = make_mapping(spec).bind_event("Incr")
+        findings = lint_codes(spec, mapping)
+        # Crash and Ask are observable-in-principle but unbound
+        assert findings.count("MCK107") == 2
+
+    def test_bind_default_events_is_clean(self):
+        spec = make_spec()
+        mapping = make_mapping(spec).bind_default_events()
+        assert lint_codes(spec, mapping) == []
+
+    def test_bundled_system_mappings_are_bound(self):
+        # the four bundled systems ship with default bindings, so their
+        # mappings stay MCK107-clean and usable with `mocket conform`
+        from repro.analysis import lint_target
+
+        for name in ("toycache", "pyxraft", "raftkv", "minizk"):
+            result = lint_target(name)
+            assert not [f for f in result.findings if f.code == "MCK107"], name

@@ -1,0 +1,70 @@
+"""Shared fixtures: deterministic graph walks rendered as obs JSONL logs.
+
+Conformance tests need logs that are *known* to be spec behaviours (and
+seeded corruptions thereof).  Rather than spinning up clusters, we walk
+the canonical state graph directly — every walk is a real behaviour by
+construction — and render the steps in the ``runner.step`` shape the
+tracer sink writes.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import canonicalize
+from repro.obs.tracer import jsonable
+from repro.tlaplus import check
+
+
+def canonical_graph(spec, max_states=100_000):
+    return canonicalize(check(spec, max_states=max_states,
+                              truncate=True).graph)
+
+
+def walk(graph, session, steps, salt=0):
+    """One deterministic behaviour: a list of ActionLabels.
+
+    ``salt`` varies the (deterministic) edge choice so different
+    sessions exercise different paths.
+    """
+    labels = []
+    current = graph.initial_ids[session % len(graph.initial_ids)]
+    for index in range(steps):
+        edges = sorted(graph.out_edges(current),
+                       key=lambda e: (e.label.name, e.dst))
+        if not edges:
+            break
+        edge = edges[(index * 7 + session * 3 + salt) % len(edges)]
+        labels.append(edge.label)
+        current = edge.dst
+    return labels
+
+
+def step_record(seq, case, step, label, params=None):
+    """One ``runner.step`` record, as the tracer sink writes it."""
+    fields = {"case": case, "step": step, "action": label.name,
+              "outcome": "ok",
+              "params": params if params is not None else jsonable(label.params)}
+    return {"seq": seq, "ts": float(seq), "kind": "span",
+            "name": "runner.step", "dur": 0.001, "fields": fields}
+
+
+def write_walk_log(path, graph, sessions=3, steps=6):
+    """Render ``sessions`` graph walks as an obs JSONL log; returns the
+    per-line records for tests that corrupt a specific line."""
+    records = []
+    seq = 0
+    for session in range(sessions):
+        for index, label in enumerate(walk(graph, session, steps)):
+            records.append(step_record(seq, session, index, label))
+            seq += 1
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records))
+    return records
+
+
+@pytest.fixture(scope="session")
+def example_graph():
+    from repro.specs import build_example_spec
+
+    return canonical_graph(build_example_spec())

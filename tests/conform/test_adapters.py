@@ -1,0 +1,101 @@
+"""Log adapters: streaming parse, error tagging, the registry."""
+
+import io
+
+import pytest
+
+from repro.conform import (
+    ActionJsonlAdapter,
+    LogAdapter,
+    LogEvent,
+    ObsJsonlAdapter,
+    adapter_names,
+    get_adapter,
+    register_adapter,
+)
+
+
+class TestObsAdapter:
+    def test_keeps_only_runner_steps(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"name": "runner.case", "fields": {"case": 0}}\n'
+            '{"name": "runner.step", "fields": {"case": 0, "action": "A",'
+            ' "params": {"k": 1}}}\n'
+            '{"name": "scheduler.notification", "fields": {}}\n'
+            '{"name": "runner.step", "fields": {"case": 0, "action": "B"}}\n')
+        events = list(ObsJsonlAdapter().read(str(path)))
+        assert [e.name for e in events] == ["A", "B"]
+        assert events[0].params == {"k": 1}
+        assert events[0].session == 0
+        assert events[0].line == 2 and events[1].line == 4
+
+    def test_step_without_action_is_skipped(self):
+        handle = io.StringIO('{"name": "runner.step", "fields": {}}\n')
+        assert list(ObsJsonlAdapter().read(handle)) == []
+
+    def test_bad_json_reports_label_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "runner.step"}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2: not a 'obs'"):
+            list(ObsJsonlAdapter().read(str(path)))
+
+    def test_blank_lines_skipped_but_numbering_kept(self):
+        handle = io.StringIO(
+            '\n\n{"name": "runner.step", "fields": {"action": "A"}}\n')
+        events = list(ObsJsonlAdapter().read(handle))
+        assert len(events) == 1 and events[0].line == 3
+
+
+class TestActionJsonlAdapter:
+    def test_minimal_foreign_schema(self):
+        handle = io.StringIO(
+            '{"action": "Vote", "params": {"n": "n1"}, "session": 7}\n'
+            '{"event": "Commit", "case": 8}\n')
+        events = list(ActionJsonlAdapter().read(handle))
+        assert [(e.name, e.session) for e in events] == [("Vote", 7),
+                                                         ("Commit", 8)]
+        assert events[0].params == {"n": "n1"}
+
+    def test_record_without_action_raises(self):
+        handle = io.StringIO('{"params": {}}\n')
+        with pytest.raises(ValueError, match="no 'action' key"):
+            list(ActionJsonlAdapter().read(handle))
+
+
+class TestRegistry:
+    def test_bundled_adapters_registered(self):
+        assert adapter_names() == ("jsonl", "obs")
+        assert isinstance(get_adapter("obs"), ObsJsonlAdapter)
+        assert isinstance(get_adapter("jsonl"), ActionJsonlAdapter)
+
+    def test_unknown_adapter(self):
+        with pytest.raises(ValueError, match="unknown log adapter 'nope'"):
+            get_adapter("nope")
+
+    def test_custom_adapter_plugs_in(self):
+        class SpaceAdapter(LogAdapter):
+            name = "space-test"
+
+            def parse(self, line_no, line):
+                action, _, rest = line.partition(" ")
+                return LogEvent(line_no, action, session=rest or None)
+
+        register_adapter(SpaceAdapter)
+        try:
+            events = list(get_adapter("space-test").read(
+                io.StringIO("Vote s1\nCommit s1\n")))
+            assert [e.name for e in events] == ["Vote", "Commit"]
+            with pytest.raises(ValueError, match="duplicate adapter"):
+                register_adapter(SpaceAdapter)
+        finally:
+            from repro.conform import adapters
+
+            adapters._ADAPTERS.pop("space-test", None)
+
+    def test_nameless_adapter_rejected(self):
+        class Nameless(LogAdapter):
+            pass
+
+        with pytest.raises(ValueError, match="has no name"):
+            register_adapter(Nameless)

@@ -1,0 +1,57 @@
+"""Slow guard: conformance replay throughput and exact divergence
+localization, exercised through the CI benchmark script.
+
+The full CI bench replays a 1M-event raftkv log; here a scaled-down run
+pins the same claims — streaming replay conforms, throughput has a
+floor, the seeded corruption is localized to the exact line — without
+the multi-minute log generation.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import conform_bench  # noqa: E402  (benchmarks/ is not a package)
+
+
+@pytest.mark.slow
+class TestConformBenchGuard:
+    def test_bench_script_exits_clean(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_conform.json"
+        # 60k events keeps the guard under ~10s; the floor scales down
+        # because per-run fixed costs (graph build) amortize less
+        assert conform_bench.main(["--events", "60000", "--floor", "20000",
+                                   "--out", str(out)]) == 0
+        assert "record written" in capsys.readouterr().out
+        record = json.loads(out.read_text())
+        assert record["bench"] == "conform"
+        assert record["replay"]["verdict"] == "conforms"
+        assert record["replay"]["events"] == 60000
+        assert (record["localize"]["first_divergence_line"]
+                == record["localize"]["seeded_line"] == 30000)
+
+    def test_bounded_memory_frontier_stays_small(self, tmp_path):
+        # the raftkv walk log never needs a frontier anywhere near the
+        # cap: peak compatible-state count is the real memory bound
+        graph = conform_bench.build_graph()
+        log = tmp_path / "walk.jsonl"
+        conform_bench.generate_log(graph, str(log), 5000)
+        run = conform_bench.replay(graph, str(log))
+        assert run["verdict"] == "conforms"
+        assert run["spilled"] == 0
+        assert run["frontier_peak"] <= 16
+
+    def test_seeded_corruption_is_localized_exactly(self, tmp_path):
+        graph = conform_bench.build_graph()
+        log = tmp_path / "bad.jsonl"
+        seeded = conform_bench.generate_log(graph, str(log), 5000,
+                                            corrupt_at=1234)
+        assert seeded == 1234
+        run = conform_bench.replay(graph, str(log))
+        assert run["verdict"] == "diverged"
+        assert run["first_divergence_line"] == 1234

@@ -1,0 +1,251 @@
+"""The conformance monitor: frontier-set walk, partial observation,
+epsilon closure, session resets, bounded memory and near-miss ranking."""
+
+import pytest
+
+from repro.conform import (
+    ConformanceMonitor,
+    ConformanceOptions,
+    LogEvent,
+    conform_log,
+)
+from repro.core.mapping import SpecMapping
+from repro.specs import build_example_spec
+from repro.tlaplus import Specification, check
+
+from .conftest import canonical_graph, walk, write_walk_log
+
+
+def chain_spec(length=6):
+    """A linear spec: Tick advances n by 1 up to ``length``."""
+    spec = Specification("chain", constants={"Len": length})
+    spec.add_variable("n")
+
+    @spec.init
+    def init(const):
+        return {"n": 0}
+
+    @spec.action()
+    def Tick(state, const):
+        if state.n >= const["Len"]:
+            return None
+        return {"n": state.n + 1}
+
+    return spec
+
+
+def forked_spec():
+    """Two initial choices observable only later: Pick(side) then Step.
+
+    With Pick unobservable, a Step event keeps *both* branches in the
+    frontier until a Finish(side=...) event discriminates them.
+    """
+    spec = Specification("forked")
+    spec.add_variable("side")
+    spec.add_variable("n")
+
+    @spec.init
+    def init(const):
+        return {"side": "?", "n": 0}
+
+    @spec.action(params={"side": lambda state, const: ["l", "r"]})
+    def Pick(state, const, side):
+        if state.side != "?":
+            return None
+        return {"side": side, "n": 0}
+
+    @spec.action()
+    def Step(state, const):
+        if state.side == "?" or state.n >= 2:
+            return None
+        return {"n": state.n + 1}
+
+    @spec.action(params={"side": lambda state, const: ["l", "r"]})
+    def Finish(state, const, side):
+        if state.side != side or state.n < 2:
+            return None
+        return {"n": 3}
+
+    return spec
+
+
+def events(*names_params, session="s"):
+    out = []
+    for line, item in enumerate(names_params, start=1):
+        name, params = item if isinstance(item, tuple) else (item, {})
+        out.append(LogEvent(line, name, params, session=session))
+    return out
+
+
+class TestWalk:
+    def test_valid_behaviour_conforms(self, example_graph):
+        labels = walk(example_graph, 0, 8)
+        from repro.obs.tracer import jsonable
+
+        evs = [LogEvent(i + 1, l.name, jsonable(l.params), session=0)
+               for i, l in enumerate(labels)]
+        report = ConformanceMonitor(example_graph).run(iter(evs))
+        assert report.ok and report.verdict == "conforms"
+        assert report.events == report.matched == 8
+        assert report.sessions == 1
+
+    def test_wrong_action_diverges_at_exact_line(self, example_graph):
+        evs = events(("Request", {"data": 1}), "Respond", "Respond")
+        report = ConformanceMonitor(example_graph).run(iter(evs))
+        assert not report.ok
+        div = report.first_divergence
+        assert div.line == 3 and div.reason == "no-transition"
+        assert div.action == "Respond"
+
+    def test_wrong_param_diverges_with_rank0_near_miss(self, example_graph):
+        evs = events(("Request", {"data": 99}))
+        report = ConformanceMonitor(example_graph).run(iter(evs))
+        div = report.first_divergence
+        assert div is not None and div.line == 1
+        rank0 = [m for m in div.near_misses if m.rank == 0]
+        assert rank0, "same-action param mismatches must rank first"
+        assert rank0[0].action == "Request"
+        assert any("data" in mm for mm in rank0[0].mismatches)
+        # rank 0 candidates sort before rank 1
+        ranks = [m.rank for m in div.near_misses]
+        assert ranks == sorted(ranks)
+
+    def test_partial_observation_keeps_all_candidates(self):
+        graph = canonical_graph(forked_spec())
+        monitor = ConformanceMonitor(graph)
+        # Pick without its side parameter: both branches stay live
+        monitor.feed(LogEvent(1, "Pick", {}, session="s"))
+        assert len(monitor.frontier) == 2
+        monitor.feed(LogEvent(2, "Step", {}, session="s"))
+        monitor.feed(LogEvent(3, "Step", {}, session="s"))
+        # the Finish parameter finally discriminates
+        monitor.feed(LogEvent(4, "Finish", {"side": "l"}, session="s"))
+        assert len(monitor.frontier) == 1
+        report = monitor.finish()
+        assert report.ok and report.frontier_peak == 2
+
+    def test_epsilon_closure_over_unbound_actions(self):
+        # bind only Step/Finish: Pick becomes unobservable and the walk
+        # must take it silently before the first Step
+        spec = forked_spec()
+        graph = canonical_graph(spec)
+        mapping = (SpecMapping(spec).bind_event("Step").bind_event("Finish"))
+        monitor = ConformanceMonitor(graph, mapping)
+        report = monitor.run(iter(events(
+            "Step", "Step", ("Finish", {"side": "r"}))))
+        assert report.ok, report.first_divergence
+
+    def test_unbound_event_diverges_by_default(self, example_graph):
+        report = ConformanceMonitor(example_graph).run(
+            iter(events("NoSuchAction")))
+        assert report.first_divergence.reason == "unbound-event"
+
+    def test_ignore_unknown_skips_instead(self, example_graph):
+        options = ConformanceOptions(ignore_unknown=True)
+        report = ConformanceMonitor(example_graph, options=options).run(
+            iter(events("NoSuchAction", ("Request", {"data": 1}))))
+        assert report.ok
+        assert report.skipped_unknown == 1 and report.matched == 1
+
+
+class TestSessions:
+    def test_each_session_restarts_from_initial(self, example_graph):
+        evs = (events(("Request", {"data": 1}), "Respond", session="a")
+               + events(("Request", {"data": 2}), "Respond", session="b"))
+        report = ConformanceMonitor(example_graph).run(iter(evs))
+        assert report.ok and report.sessions == 2
+
+    def test_diverged_session_drains_without_masking_later_ones(
+            self, example_graph):
+        evs = (events("Respond", ("Request", {"data": 1}), session="bad")
+               + events(("Request", {"data": 1}), "Respond", session="good"))
+        report = ConformanceMonitor(example_graph).run(iter(evs))
+        assert not report.ok
+        assert report.first_divergence.line == 1
+        assert report.sessions == 2 and report.diverged_sessions == 1
+        # events after the divergence in the same session are not counted
+        # as matched, but the next session is checked in full
+        assert report.matched == 2
+
+    def test_truncated_log_still_conforms(self, example_graph):
+        # a prefix of a behaviour is itself a partial observation: the
+        # monitor must accept a log that stops mid-session
+        labels = walk(example_graph, 0, 8)[:3]
+        from repro.obs.tracer import jsonable
+
+        evs = [LogEvent(i + 1, l.name, jsonable(l.params), session=0)
+               for i, l in enumerate(labels)]
+        report = ConformanceMonitor(example_graph).run(iter(evs))
+        assert report.ok and report.matched == 3
+
+
+class TestBoundedMemory:
+    def test_frontier_cap_spills_deterministically(self):
+        graph = canonical_graph(forked_spec())
+        options = ConformanceOptions(max_frontier=1)
+        monitor = ConformanceMonitor(graph, options=options)
+        monitor.feed(LogEvent(1, "Pick", {}, session="s"))
+        # both branches matched but only the lowest canonical id is kept
+        assert len(monitor.frontier) == 1
+        assert monitor.frontier == {min(monitor.frontier)}
+        report = monitor.finish()
+        assert report.bounded and report.spilled == 1
+        assert report.frontier_peak == 1
+
+    def test_spill_keeps_conforms_sound(self):
+        # the kept branch can still explain the rest of the log, so the
+        # verdict stays "conforms" even in bounded mode
+        graph = canonical_graph(forked_spec())
+        options = ConformanceOptions(max_frontier=1)
+        monitor = ConformanceMonitor(graph, options=options)
+        monitor.feed(LogEvent(1, "Pick", {}, session="s"))
+        kept_side = None
+        for sid in monitor.frontier:
+            kept_side = graph.state_of(sid).side
+        for line, name in ((2, "Step"), (3, "Step")):
+            assert monitor.feed(LogEvent(line, name, {}, session="s"))
+        assert monitor.feed(
+            LogEvent(4, "Finish", {"side": kept_side}, session="s"))
+        report = monitor.finish()
+        assert report.ok and report.bounded
+
+    def test_divergence_under_spill_is_flagged_bounded(self):
+        # the dropped branch would have explained the log: the verdict
+        # is a divergence, but `bounded` warns it may be a false alarm
+        graph = canonical_graph(forked_spec())
+        options = ConformanceOptions(max_frontier=1)
+        monitor = ConformanceMonitor(graph, options=options)
+        monitor.feed(LogEvent(1, "Pick", {}, session="s"))
+        kept_side = next(graph.state_of(sid).side for sid in monitor.frontier)
+        other = "r" if kept_side == "l" else "l"
+        monitor.feed(LogEvent(2, "Step", {}, session="s"))
+        monitor.feed(LogEvent(3, "Step", {}, session="s"))
+        monitor.feed(LogEvent(4, "Finish", {"side": other}, session="s"))
+        report = monitor.finish()
+        assert not report.ok and report.bounded and report.spilled == 1
+
+    def test_long_log_constant_frontier(self):
+        graph = canonical_graph(chain_spec(length=200))
+        evs = (LogEvent(i + 1, "Tick", {}, session="s") for i in range(200))
+        report = ConformanceMonitor(graph).run(evs)
+        assert report.ok and report.frontier_peak == 1
+
+
+class TestConformLog:
+    def test_streams_from_file(self, tmp_path, example_graph):
+        path = tmp_path / "walk.jsonl"
+        write_walk_log(path, example_graph, sessions=2, steps=6)
+        report = conform_log(example_graph, None, str(path))
+        assert report.ok and report.sessions == 2
+        assert report.log == str(path) and report.adapter == "obs"
+
+    def test_report_roundtrips_as_json(self, tmp_path, example_graph):
+        import json
+
+        path = tmp_path / "walk.jsonl"
+        write_walk_log(path, example_graph, sessions=1, steps=4)
+        report = conform_log(example_graph, None, str(path))
+        payload = json.loads(report.to_json())
+        assert payload["version"] == 1
+        assert payload["verdict"] == "conforms"
+        assert payload["first_divergence"] is None

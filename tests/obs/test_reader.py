@@ -44,7 +44,18 @@ class TestRoundTrip:
         path = tmp_path / "bad.jsonl"
         path.write_text('{"seq": 0, "ts": 0.1, "name": "x"}\nnot json\n')
         with pytest.raises(ValueError, match="bad.jsonl:2"):
-            TraceReader.from_file(str(path))
+            TraceReader.from_file(str(path)).events
+
+    def test_from_file_is_lazy_and_streams(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_fake_run(path)
+        reader = TraceReader.from_file(str(path))
+        assert reader._events is None          # no I/O until consumed
+        streamed = list(reader.iter_events())
+        assert reader._events is None          # streaming did not materialize
+        assert [e.seq for e in streamed] == sorted(e.seq for e in streamed)
+        assert len(reader.events) == len(streamed)   # now materialized
+        assert reader._events is not None
 
 
 class TestTimelines:
