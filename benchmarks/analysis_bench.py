@@ -1,0 +1,163 @@
+"""Benchmark: static-independence fast path for POR diamond search.
+
+Measures the diamond search (``find_diamonds``) and the full POR
+exclusion computation (``por_excluded_edges``) on the two scaled guard
+models — legacy join-verified search vs the effect-certified fast path
+— and writes a ``BENCH_analysis.json`` record.
+
+Correctness is asserted unconditionally and is the only thing that can
+fail the script: for every model and seed the fast path must produce a
+byte-identical suite (same diamonds, same excluded edges, same JSON).
+The speedup itself is recorded, not gated — it is a function of how
+many action pairs the effect analyzer certifies, which varies by model.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/analysis_bench.py
+        [--out BENCH_analysis.json] [--repeats 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+
+from repro.analysis.effects import analyze_spec
+from repro.core import generate_test_cases
+from repro.core.testgen.por import find_diamonds, por_excluded_edges
+from repro.specs.raft import RaftSpecOptions, build_raft_spec
+from repro.specs.zab import ZabSpecOptions, build_zab_spec
+from repro.tlaplus import check
+
+# the determinism-guard models: real protocol structure at bench-smoke
+# cost (hundreds of states, explored in well under a second)
+RAFT_OPTS = dict(
+    servers=("n1", "n2", "n3"), max_term=1, max_client_requests=0,
+    enable_restart=True, max_restarts=1,
+    enable_drop=False, enable_duplicate=False,
+    candidates=("n1",), name="raft-guard",
+)
+ZAB_OPTS = dict(
+    servers=("n1", "n2"), max_elections=2, max_crashes=0, max_restarts=0,
+    starters=("n1",), name="zab-guard",
+)
+
+
+def _build(model: str):
+    if model == "raft":
+        return build_raft_spec(RaftSpecOptions(**RAFT_OPTS))
+    return build_zab_spec(ZabSpecOptions(**ZAB_OPTS))
+
+
+def _best_of(repeats, fn):
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _suite_json(graph, seed, independence=None):
+    buffer = io.StringIO()
+    generate_test_cases(graph, por=True, seed=seed,
+                        independence=independence).save(buffer)
+    return buffer.getvalue()
+
+
+def bench_model(model: str, repeats: int) -> dict:
+    spec = _build(model)
+    graph = check(spec).graph
+    effects = analyze_spec(spec)
+    independence = effects.independence()
+
+    legacy_seconds, legacy = _best_of(repeats, lambda: find_diamonds(graph))
+    static_seconds, static = _best_of(
+        repeats, lambda: find_diamonds(graph, independence=independence))
+    diamonds_identical = (
+        len(legacy) == len(static)
+        and all((a.origin, a.first_a.key(), a.second_a.key(),
+                 a.first_b.key(), a.second_b.key()) ==
+                (b.origin, b.first_a.key(), b.second_a.key(),
+                 b.first_b.key(), b.second_b.key())
+                for a, b in zip(legacy, static)))
+
+    excl_legacy_seconds, _ = _best_of(
+        repeats, lambda: por_excluded_edges(graph, seed=0))
+    excl_static_seconds, _ = _best_of(
+        repeats,
+        lambda: por_excluded_edges(graph, seed=0, independence=independence))
+
+    suites_identical = all(
+        _suite_json(graph, seed) == _suite_json(graph, seed, independence)
+        for seed in (0, 42))
+
+    return {
+        "model": spec.name,
+        "states": graph.num_states,
+        "diamonds": len(legacy),
+        "certified_pairs": len(independence),
+        "actions": len(effects.actions),
+        "find_diamonds_legacy_seconds": round(legacy_seconds, 4),
+        "find_diamonds_static_seconds": round(static_seconds, 4),
+        "find_diamonds_speedup": round(legacy_seconds / static_seconds, 3),
+        "por_excluded_legacy_seconds": round(excl_legacy_seconds, 4),
+        "por_excluded_static_seconds": round(excl_static_seconds, 4),
+        "por_excluded_speedup": round(
+            excl_legacy_seconds / excl_static_seconds, 3),
+        "diamonds_identical": diamonds_identical,
+        "suites_byte_identical": suites_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_analysis.json"))
+    args = parser.parse_args(argv)
+
+    record = {
+        "bench": "static_independence_por",
+        "cpu_cores": os.cpu_count() or 1,
+        "models": [bench_model(m, args.repeats) for m in ("raft", "zab")],
+        "notes": ("fast path skips the per-diamond join verification for "
+                  "pairs the effect analyzer certifies as commuting; "
+                  "identical output is asserted, speed is recorded"),
+    }
+
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    failed = False
+    for rec in record["models"]:
+        print(f"{rec['model']} ({rec['states']} states, "
+              f"{rec['diamonds']} diamonds, "
+              f"{rec['certified_pairs']} certified pairs): "
+              f"find_diamonds {rec['find_diamonds_legacy_seconds']}s -> "
+              f"{rec['find_diamonds_static_seconds']}s "
+              f"({rec['find_diamonds_speedup']}x), suites "
+              f"{'identical' if rec['suites_byte_identical'] else 'DIFFER'}")
+        if not (rec["diamonds_identical"] and rec["suites_byte_identical"]):
+            failed = True
+    print(f"record written to {out_path}")
+
+    if failed:
+        print("FAIL: static fast path diverged from the legacy search",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

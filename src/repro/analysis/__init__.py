@@ -14,24 +14,38 @@ Public API::
 """
 
 from .astmodel import ImplModel
+from .effects import (
+    ActionEffects, IndependenceRelation, SpecEffects, analyze_action,
+    analyze_spec,
+)
 from .engine import LintContext, LintResult, Rule, all_rules, register, run_lint
 from .findings import Finding, Severity
-from .report import JSON_SCHEMA_VERSION, as_json_dict, render_json, render_text
+from .report import (
+    JSON_SCHEMA_VERSION, as_json_dict, as_sarif_dict, render_json,
+    render_sarif, render_text,
+)
 from . import targets
 
 __all__ = [
+    "ActionEffects",
     "Finding",
     "ImplModel",
+    "IndependenceRelation",
     "JSON_SCHEMA_VERSION",
     "LintContext",
     "LintResult",
     "Rule",
     "Severity",
+    "SpecEffects",
     "all_rules",
+    "analyze_action",
+    "analyze_spec",
     "as_json_dict",
+    "as_sarif_dict",
     "lint_target",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "targets",

@@ -32,9 +32,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = ["TracedField", "ActionHook", "ShadowWrite", "MessageUse",
-           "RecordedVar", "ImplModel"]
+           "RecordedVar", "HookWrite", "ImplModel", "clear_cache"]
 
 _ACTION_DECORATORS = ("mocket_action", "mocket_receive")
+
+#: path -> ((mtime_ns, size), extracted single-file model)
+_FILE_CACHE: Dict[str, Tuple[Tuple[int, int], "ImplModel"]] = {}
+
+
+def clear_cache() -> None:
+    """Drop the per-file extraction cache (tests that rewrite fixtures)."""
+    _FILE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,26 @@ class ShadowWrite:
     line: int
 
 
+@dataclass(frozen=True)
+class HookWrite:
+    """A traced-field write attributed to a specific action hook.
+
+    Only *direct* coverage attributes a write to an action: the write
+    sits in a ``@mocket_action``/``@mocket_receive`` method body or
+    inside a ``with action_span(...)`` block for that action.
+    Transitively-covered helper writes are not attributed — a helper
+    may run under several different actions.
+    """
+
+    attr: str
+    spec_name: str
+    action: str
+    class_name: str
+    method: str
+    file: str
+    line: int
+
+
 def _call_name(node: ast.AST) -> Optional[str]:
     """The bare callee name of a Call node (``foo(...)`` or ``m.foo(...)``)."""
     if not isinstance(node, ast.Call):
@@ -121,7 +149,10 @@ class _ClassScan:
         self.traced: Dict[str, str] = {}            # attr -> spec_name
         self.methods: Set[str] = set()
         self.decorated: Set[str] = set()            # methods with action decorators
+        self.decorated_actions: Dict[str, List[str]] = {}  # method -> actions
         self.span_ranges: Dict[str, List[Tuple[int, int]]] = {}
+        # method -> [(start, end, action)]: which action each span covers
+        self.span_actions: Dict[str, List[Tuple[int, int, str]]] = {}
         self.writes: List[Tuple[str, str, int]] = []     # (attr, method, line)
         self.refs: Dict[str, List[Tuple[str, int]]] = {}  # method -> [(caller, line)]
 
@@ -135,6 +166,7 @@ class ImplModel:
         self.hooks: List[ActionHook] = []
         self.message_uses: List[MessageUse] = []
         self.shadow_writes: List[ShadowWrite] = []
+        self.hook_writes: List[HookWrite] = []
         self.files: List[str] = []
 
     # -- queries -------------------------------------------------------------
@@ -160,6 +192,30 @@ class ImplModel:
         return model
 
     def add_file(self, path: str) -> None:
+        """Extract one source file, via the module-level per-file cache.
+
+        Rules and ``mocket lint all`` build many models over the same
+        package files; extraction is pure per file, so the parsed
+        result is cached keyed on ``(mtime_ns, size)`` and merged into
+        this model on a hit.
+        """
+        try:
+            stat = os.stat(path)
+            signature = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            signature = None
+        if signature is not None:
+            cached = _FILE_CACHE.get(path)
+            if cached is not None and cached[0] == signature:
+                self._merge(cached[1])
+                return
+        partial = ImplModel()
+        partial._extract_file(path)
+        if signature is not None:
+            _FILE_CACHE[path] = (signature, partial)
+        self._merge(partial)
+
+    def _extract_file(self, path: str) -> None:
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
         tree = ast.parse(source, filename=path)
@@ -167,6 +223,16 @@ class ImplModel:
         for node in tree.body:
             if isinstance(node, ast.ClassDef):
                 self._scan_class(node, path)
+
+    def _merge(self, other: "ImplModel") -> None:
+        # record entries are frozen dataclasses, safe to share
+        self.traced_fields.extend(other.traced_fields)
+        self.record_vars.extend(other.record_vars)
+        self.hooks.extend(other.hooks)
+        self.message_uses.extend(other.message_uses)
+        self.shadow_writes.extend(other.shadow_writes)
+        self.hook_writes.extend(other.hook_writes)
+        self.files.extend(other.files)
 
     # -- class analysis -----------------------------------------------------------
     def _scan_class(self, cls_node: ast.ClassDef, path: str) -> None:
@@ -187,6 +253,7 @@ class ImplModel:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._scan_method(stmt, scan, path)
         self._emit_shadow_writes(scan, path)
+        self._emit_hook_writes(scan, path)
 
     def _scan_method(self, fn: ast.AST, scan: _ClassScan, path: str) -> None:
         method = fn.name
@@ -197,6 +264,7 @@ class ImplModel:
                 action = _str_arg(deco, 0)
                 if action is not None:
                     scan.decorated.add(method)
+                    scan.decorated_actions.setdefault(method, []).append(action)
                     self.hooks.append(ActionHook(
                         action, name, scan.name, method, path, deco.lineno,
                         msg_var=_str_arg(deco, 1)))
@@ -215,8 +283,11 @@ class ImplModel:
                             self.hooks.append(ActionHook(
                                 action, "action_span", scan.name, method,
                                 path, call.lineno))
-                            spans.append((node.lineno,
-                                          node.end_lineno or node.lineno))
+                            span = (node.lineno,
+                                    node.end_lineno or node.lineno)
+                            spans.append(span)
+                            scan.span_actions.setdefault(method, []).append(
+                                (span[0], span[1], action))
             elif isinstance(node, ast.Call):
                 name = _call_name(node)
                 if name == "record_var":
@@ -266,3 +337,16 @@ class ImplModel:
             if not line_covered(method, line):
                 self.shadow_writes.append(ShadowWrite(
                     attr, scan.traced[attr], scan.name, method, path, line))
+
+    def _emit_hook_writes(self, scan: _ClassScan, path: str) -> None:
+        """Attribute traced-field writes to the hooks directly covering
+        them (decorated method body, or an enclosing action_span)."""
+        for attr, method, line in scan.writes:
+            actions = list(scan.decorated_actions.get(method, ()))
+            for start, end, action in scan.span_actions.get(method, ()):
+                if start <= line <= end and action not in actions:
+                    actions.append(action)
+            for action in actions:
+                self.hook_writes.append(HookWrite(
+                    attr, scan.traced[attr], action, scan.name, method,
+                    path, line))

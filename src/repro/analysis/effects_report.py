@@ -1,0 +1,107 @@
+"""Rendering for ``mocket analyze``: effect tables, JSON, DOT.
+
+The JSON envelope is versioned (``"version": 1``) like the lint /
+conform / scenarios envelopes; the DOT output is the action-dependency
+graph (an edge per *conflicting* action pair, labelled with the
+variables the pair conflicts on — the complement of the independence
+relation POR consumes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .effects import SpecEffects
+
+__all__ = ["render_effects_text", "effects_to_dict", "render_effects_json",
+           "render_effects_dot"]
+
+
+def _flags(action) -> str:
+    flags = []
+    if action.unknown_reads:
+        flags.append("reads?")
+    if action.unknown_writes:
+        flags.append("writes?")
+    if action.violations:
+        flags.append(f"{len(action.violations)} violation(s)")
+    return ", ".join(flags) if flags else "ok"
+
+
+def render_effects_text(effects: SpecEffects) -> str:
+    """The human-readable per-action effect table."""
+    lines: List[str] = []
+    names = sorted(effects.actions)
+    lines.append(f"{effects.spec_name}: {len(names)} action(s)")
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        action = effects.actions[name]
+        lines.append(f"  {name:<{width}}  "
+                     f"reads={{{', '.join(sorted(action.reads))}}} "
+                     f"writes={{{', '.join(sorted(action.writes))}}} "
+                     f"consts={{{', '.join(sorted(action.const_reads))}}} "
+                     f"[{_flags(action)}]")
+        for violation in action.violations:
+            where = f" (line {violation.line})" if violation.line else ""
+            lines.append(f"  {'':<{width}}  ! {violation.kind}: "
+                         f"{violation.detail}{where}")
+    pairs = effects.independence().pairs()
+    lines.append(f"statically independent pairs: {len(pairs)}")
+    for a, b in pairs:
+        lines.append(f"  {a} || {b}")
+    return "\n".join(lines)
+
+
+def effects_to_dict(effects: SpecEffects) -> Dict[str, Any]:
+    pairs = effects.independence().pairs()
+    dependencies = []
+    names = sorted(effects.actions)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            conflict = effects.conflicts(a, b)
+            if conflict and not effects.independent(a, b):
+                dependencies.append(
+                    {"a": a, "b": b, "vars": sorted(conflict)})
+    return {
+        "version": 1,
+        "spec": effects.spec_name,
+        "actions": [effects.actions[name].as_dict() for name in names],
+        "independent_pairs": [list(pair) for pair in pairs],
+        "dependencies": dependencies,
+        "invariant_reads": {
+            name: sorted(reads)
+            for name, reads in sorted(effects.invariant_reads.items())
+        },
+    }
+
+
+def render_effects_json(effects: SpecEffects) -> str:
+    return json.dumps(effects_to_dict(effects), indent=2, sort_keys=True)
+
+
+def render_effects_dot(effects: SpecEffects) -> str:
+    """The action-dependency graph in Graphviz DOT.
+
+    Nodes are actions; an (undirected) edge connects every pair that
+    does *not* statically commute, labelled with the conflicting
+    variables.  Uncertified actions (unknown effects or purity
+    violations) are drawn dashed — they conflict with everything.
+    """
+    lines = [f'graph "{effects.spec_name}-dependencies" {{']
+    names = sorted(effects.actions)
+    for name in names:
+        action = effects.actions[name]
+        style = ' style=dashed' if not action.certifiable else ""
+        lines.append(f'  "{name}"{style};')
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if effects.independent(a, b):
+                continue
+            conflict = effects.conflicts(a, b)
+            label = ", ".join(sorted(conflict)[:4])
+            if len(conflict) > 4:
+                label += ", ..."
+            lines.append(f'  "{a}" -- "{b}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -31,6 +31,19 @@ class LintContext:
     spec: Specification
     mapping: Optional[SpecMapping] = None
     impl: Optional[ImplModel] = None
+    _effects: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def effects(self):
+        """The spec's effect signatures, analyzed once per context.
+
+        Every MCK30x rule consumes this; memoizing keeps ``lint`` from
+        re-walking the spec source once per rule.
+        """
+        if self._effects is None:
+            from .effects import analyze_spec
+
+            self._effects = analyze_spec(self.spec)
+        return self._effects
 
 
 class Rule:
@@ -86,7 +99,7 @@ def rules_for(ctx: LintContext) -> List[Rule]:
 def _load_builtin_rules() -> None:
     # rule modules self-register on import; imported lazily to avoid an
     # import cycle (rules import this module for @register)
-    from . import rules_conformance, rules_spec  # noqa: F401
+    from . import rules_conformance, rules_effects, rules_spec  # noqa: F401
 
 
 @dataclass

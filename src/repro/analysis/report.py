@@ -8,11 +8,12 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, List
 
-from .engine import LintResult
+from .engine import LintResult, all_rules
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json", "as_json_dict"]
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json",
+           "as_json_dict", "render_sarif", "as_sarif_dict"]
 
 JSON_SCHEMA_VERSION = 1
 
@@ -38,11 +39,14 @@ def render_text(result: LintResult) -> str:
         lines.append(f"{location}: {finding.severity}: "
                      f"{finding.code}: {finding.message}{note}")
     counts = result.counts()
+    # the summary names both the rules actually run (target-dependent:
+    # spec-only targets skip mapping/impl rules) and the full catalogue
+    # size, so rule-count drift is visible in CI logs
     lines.append(
         f"{result.target}: {counts['errors']} error(s), "
         f"{counts['warnings']} warning(s), "
         f"{counts['suppressed']} suppressed "
-        f"({result.rules_run} rules)")
+        f"({result.rules_run} of {len(all_rules())} rules)")
     return "\n".join(lines)
 
 
@@ -59,3 +63,72 @@ def as_json_dict(result: LintResult) -> Dict[str, Any]:
 
 def render_json(result: LintResult) -> str:
     return json.dumps(as_json_dict(result), indent=2, sort_keys=True)
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def as_sarif_dict(results: Iterable[LintResult]) -> Dict[str, Any]:
+    """One SARIF 2.1.0 document aggregating any number of lint results.
+
+    GitHub code scanning consumes exactly this shape: a single run with
+    the full rule catalogue as ``reportingDescriptor`` objects and one
+    result per finding.  In-source suppressions (``# mocket:
+    ignore[...]``) are carried as SARIF suppression objects so scanning
+    shows them as dismissed instead of dropping them.
+    """
+    rules = all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    sarif_results: List[Dict[str, Any]] = []
+    for result in results:
+        for finding in result.findings:
+            entry: Dict[str, Any] = {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index.get(finding.code, -1),
+                "level": _SARIF_LEVELS.get(str(finding.severity), "warning"),
+                "message": {"text": f"[{result.target}] {finding.message}"},
+            }
+            location: Dict[str, Any] = {}
+            if finding.file is not None:
+                physical: Dict[str, Any] = {
+                    "artifactLocation": {"uri": _relpath(finding.file)},
+                }
+                if finding.line is not None:
+                    physical["region"] = {"startLine": finding.line}
+                location["physicalLocation"] = physical
+            if finding.obj is not None:
+                location["logicalLocations"] = [{"name": finding.obj}]
+            if location:
+                entry["locations"] = [location]
+            if finding.suppressed:
+                entry["suppressions"] = [{"kind": "inSource"}]
+            sarif_results.append(entry)
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "mocket-lint",
+                    "informationUri":
+                        "https://example.invalid/mocket/docs/ANALYSIS.md",
+                    "rules": [{
+                        "id": rule.code,
+                        "name": rule.name,
+                        "shortDescription": {"text": rule.description
+                                             or rule.name},
+                        "defaultConfiguration": {
+                            "level": _SARIF_LEVELS.get(str(rule.severity),
+                                                       "warning"),
+                        },
+                    } for rule in rules],
+                },
+            },
+            "results": sarif_results,
+        }],
+    }
+
+
+def render_sarif(results: Iterable[LintResult]) -> str:
+    return json.dumps(as_sarif_dict(results), indent=2, sort_keys=True)

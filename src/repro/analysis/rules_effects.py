@@ -1,0 +1,315 @@
+"""Effect rules (MCK301-MCK306): defects visible in action footprints.
+
+These rules consume the effect signatures extracted by
+:mod:`repro.analysis.effects` (memoized on the :class:`LintContext`),
+catching a family of spec defects the structural MCK0xx rules cannot
+see: variables that flow nowhere, guards that can never pass under the
+declared constants, update dicts writing state the spec never declared,
+nondeterminism inside action bodies, and — with a mapping and an
+implementation model — actions whose implementation writes state their
+spec footprint never touches.
+
+As with the spec rules, unanalyzable source silences a rule rather
+than producing guesses: every MCK30x rule checks the relevant
+``unknown_*`` flag before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Optional, Set
+
+from .engine import LintContext, Rule, register
+from .findings import Finding, Severity
+from .rules_spec import _fn_source_ast
+
+__all__ = []  # rules register themselves; nothing to re-export
+
+
+def _any_unknown(effects) -> bool:
+    return effects.invariants_unknown or any(
+        a.unknown_reads or a.unknown_writes for a in effects.actions.values())
+
+
+def _all_reads(effects) -> Set[str]:
+    reads: Set[str] = set()
+    for action in effects.actions.values():
+        reads |= action.reads
+    for inv_reads in effects.invariant_reads.values():
+        reads |= inv_reads
+    return reads
+
+
+def _all_writes(effects) -> Set[str]:
+    writes: Set[str] = set()
+    for action in effects.actions.values():
+        writes |= action.writes
+    return writes
+
+
+@register
+class WriteOnlyVariableRule(Rule):
+    code = "MCK301"
+    name = "write-only-variable"
+    severity = Severity.WARNING
+    description = ("A variable is written by actions but read by no "
+                   "action, domain or invariant: it can never influence "
+                   "a transition or a check, yet still multiplies the "
+                   "state space with every distinct value written.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        effects = ctx.effects()
+        if _any_unknown(effects):
+            return
+        reads = _all_reads(effects)
+        for name in ctx.spec.variables:
+            writers = sorted(a.name for a in effects.actions.values()
+                             if name in a.writes)
+            if writers and name not in reads:
+                yield self.finding(
+                    f"variable {name!r} is written by "
+                    f"{', '.join(writers)} but never read by any action "
+                    f"or invariant",
+                    obj=f"spec.{ctx.spec.name}/variable.{name}")
+
+
+@register
+class ReadOnlyVariableRule(Rule):
+    code = "MCK302"
+    name = "read-only-variable"
+    severity = Severity.WARNING
+    description = ("A variable is read by actions or invariants but "
+                   "written only by Init: its value never changes, so it "
+                   "is a constant wearing a variable's cost (state-vector "
+                   "width, mapping burden) — declare it as a constant.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        effects = ctx.effects()
+        if _any_unknown(effects):
+            return
+        writes = _all_writes(effects)
+        reads = _all_reads(effects)
+        for name in ctx.spec.variables:
+            if name in reads and name not in writes:
+                yield self.finding(
+                    f"variable {name!r} is read but never written after "
+                    f"Init; a constant would model it without widening "
+                    f"the state vector",
+                    obj=f"spec.{ctx.spec.name}/variable.{name}")
+
+
+class _ConstEval(ast.NodeVisitor):
+    """Safe evaluator for expressions over ``const`` only.
+
+    Raises :class:`LookupError` on anything that is not a pure function
+    of the declared constants — names, state access, unknown calls —
+    so callers can only ever prove something about genuinely
+    constant-only guards.
+    """
+
+    def __init__(self, constants, const_name: str):
+        self.constants = constants
+        self.const_name = const_name
+
+    def eval(self, node: ast.AST) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == self.const_name:
+            sl = node.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, str) \
+                    and sl.value in self.constants:
+                return self.constants[sl.value]
+            raise LookupError("unresolvable constant subscript")
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left)
+            for op, comparator in zip(node.ops, node.comparators):
+                right = self.eval(comparator)
+                if not self._compare(op, left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.BoolOp):
+            values = [self.eval(v) for v in node.values]
+            if isinstance(node.op, ast.And):
+                return all(values)
+            return any(values)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return not self.eval(node.operand)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -self.eval(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node.op, self.eval(node.left),
+                               self.eval(node.right))
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "len" and len(node.args) == 1:
+            return len(self.eval(node.args[0]))
+        raise LookupError(f"not constant-evaluable: {ast.dump(node)[:40]}")
+
+    @staticmethod
+    def _compare(op: ast.AST, left: Any, right: Any) -> bool:
+        if isinstance(op, ast.Eq):
+            return left == right
+        if isinstance(op, ast.NotEq):
+            return left != right
+        if isinstance(op, ast.Lt):
+            return left < right
+        if isinstance(op, ast.LtE):
+            return left <= right
+        if isinstance(op, ast.Gt):
+            return left > right
+        if isinstance(op, ast.GtE):
+            return left >= right
+        if isinstance(op, ast.In):
+            return left in right
+        if isinstance(op, ast.NotIn):
+            return left not in right
+        raise LookupError("unsupported comparison")
+
+    @staticmethod
+    def _binop(op: ast.AST, left: Any, right: Any) -> Any:
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.FloorDiv):
+            return left // right
+        if isinstance(op, ast.Mod):
+            return left % right
+        raise LookupError("unsupported operator")
+
+
+def _returns_none(body) -> bool:
+    return (len(body) == 1 and isinstance(body[0], ast.Return)
+            and (body[0].value is None
+                 or (isinstance(body[0].value, ast.Constant)
+                     and body[0].value.value is None)))
+
+
+@register
+class UnsatisfiableGuardRule(Rule):
+    code = "MCK303"
+    name = "unsatisfiable-guard"
+    severity = Severity.WARNING
+    description = ("A leading constant-only guard of an action always "
+                   "disables it under the declared constants "
+                   "(``if const[...] <op> ...: return None`` evaluating "
+                   "true): the action is dead in this model "
+                   "configuration.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name, decl in ctx.spec.actions.items():
+            tree = _fn_source_ast(decl.fn)
+            if tree is None:
+                continue
+            fn_node = next((n for n in ast.walk(tree)
+                            if isinstance(n, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef))), None)
+            if fn_node is None:
+                continue
+            args = fn_node.args
+            params = [a.arg for a in args.posonlyargs + args.args]
+            const_name = params[1] if len(params) > 1 else "const"
+            evaluator = _ConstEval(ctx.spec.constants, const_name)
+            # only *leading* guards: once any statement's effect on
+            # control flow is not constant-evaluable, later const-only
+            # guards may sit behind state-dependent early returns
+            for stmt in fn_node.body:
+                if not (isinstance(stmt, ast.If)
+                        and _returns_none(stmt.body) and not stmt.orelse):
+                    break
+                try:
+                    verdict = evaluator.eval(stmt.test)
+                except LookupError:
+                    break
+                if verdict:
+                    yield self.finding(
+                        f"action {name!r} is trivially disabled: its "
+                        f"leading guard is always true for the declared "
+                        f"constants",
+                        file=decl.file,
+                        line=decl.line,
+                        obj=f"spec.{ctx.spec.name}/action.{name}")
+                    break
+
+
+@register
+class UndeclaredUpdateRule(Rule):
+    code = "MCK304"
+    name = "undeclared-update-variable"
+    severity = Severity.ERROR
+    description = ("An action's update dict writes a key that is not a "
+                   "declared variable; the first time that return path "
+                   "runs, Specification.apply raises ActionError.  This "
+                   "is the static form of that runtime check.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        effects = ctx.effects()
+        for name, action in effects.actions.items():
+            for var in sorted(action.writes):
+                if var not in ctx.spec.variables:
+                    yield self.finding(
+                        f"action {name!r} writes undeclared variable "
+                        f"{var!r} in an update dict",
+                        file=action.file,
+                        line=action.write_lines.get(var) or action.line,
+                        obj=f"spec.{ctx.spec.name}/action.{name}")
+
+
+@register
+class NondeterministicActionRule(Rule):
+    code = "MCK305"
+    name = "nondeterministic-action"
+    severity = Severity.ERROR
+    description = ("An action body contains a nondeterministic construct "
+                   "— a call into random/time/os-style modules, iteration "
+                   "over an unordered container, or in-place mutation of "
+                   "an object reached through state.  Actions must be "
+                   "pure functions of (state, const, params) or replays "
+                   "and POR certificates are unsound.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        effects = ctx.effects()
+        for name, action in effects.actions.items():
+            for violation in action.violations:
+                yield self.finding(
+                    f"action {name!r}: {violation.kind}: "
+                    f"{violation.detail}",
+                    file=action.file,
+                    line=violation.line or action.line,
+                    obj=f"spec.{ctx.spec.name}/action.{name}")
+
+
+@register
+class EffectFootprintDriftRule(Rule):
+    code = "MCK306"
+    name = "effect-footprint-drift"
+    severity = Severity.WARNING
+    requires = ("spec", "mapping", "impl")
+    description = ("An instrumentation hook writes a mapped shadow "
+                   "variable that the bound spec action's statically "
+                   "extracted write set never touches: the implementation "
+                   "and the spec disagree about the action's footprint, "
+                   "so the state checker will flag the extra write as a "
+                   "divergence on the first schedule that runs it.")
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        effects = ctx.effects()
+        for write in ctx.impl.hook_writes:
+            action = effects.actions.get(write.action)
+            if action is None or action.unknown_writes:
+                continue  # unknown action/footprint: other rules' turf
+            if write.spec_name not in ctx.spec.variables:
+                continue  # not a spec variable: MCK2xx reports that
+            if write.spec_name in action.writes:
+                continue
+            yield self.finding(
+                f"{write.class_name}.{write.method} writes shadow "
+                f"variable {write.spec_name!r} under hook for action "
+                f"{write.action!r}, whose spec write set is "
+                f"{{{', '.join(sorted(action.writes))}}}",
+                file=write.file, line=write.line,
+                obj=f"impl.{write.class_name}.{write.method}")

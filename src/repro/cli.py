@@ -17,7 +17,13 @@ Subcommands mirror the pipeline stages:
 * ``mocket bugs``          — replay all nine Table 2 bug scenarios,
 * ``mocket lint TARGET``   — static conformance analysis of a bundled
   system (spec + mapping + instrumented source) or bare spec; rule
-  catalogue in docs/ANALYSIS.md,
+  catalogue in docs/ANALYSIS.md (``--format sarif`` for GitHub code
+  scanning),
+* ``mocket analyze TARGET`` — static effect analysis of a target's
+  spec: per-action read/write sets, purity violations and the
+  statically-certified independence relation POR consumes
+  (``--format json`` for the v1 envelope, ``--dot FILE`` for the
+  action-dependency graph; see docs/ANALYSIS.md),
 * ``mocket conform LOG --spec TARGET`` — validate an externally
   captured log (production, staging, foreign test rig) against the
   spec's verified state graph; reports the first divergent log line
@@ -141,6 +147,21 @@ def _target_kit(name: str, bugs):
     raise SystemExit(f"unknown target {name!r} (toycache|pyxraft|raftkv|minizk)")
 
 
+def _spec_independence(spec):
+    """Static POR certificates for ``spec``; None when unavailable.
+
+    The effect analyzer is conservative — an unanalyzable spec yields
+    an empty relation, and any failure degrades to the legacy dynamic
+    diamond search rather than aborting the command.
+    """
+    try:
+        from .analysis.effects import analyze_spec
+
+        return analyze_spec(spec).independence()
+    except Exception:
+        return None
+
+
 def _obs_begin(args) -> bool:
     """Arm tracing/metrics for a command run; returns whether armed."""
     wanted = bool(getattr(args, "trace", None) or getattr(args, "metrics", False))
@@ -200,7 +221,8 @@ def _cmd_testgen(args) -> int:
         graph = check(spec, max_states=args.max_states, truncate=True,
                       **_check_kwargs(args)).graph
         suite_ec = generate_test_cases(graph, por=False)
-        suite_por = generate_test_cases(graph, por=True, seed=args.seed)
+        suite_por = generate_test_cases(graph, por=True, seed=args.seed,
+                                        independence=_spec_independence(spec))
         print(f"model: {graph.num_states} states, {graph.num_edges} edges")
         print(f"PathEC:     {len(suite_ec)} cases, "
               f"{suite_ec.total_actions()} actions")
@@ -218,12 +240,14 @@ def _cmd_testgen(args) -> int:
     return _with_obs(args, command)
 
 
-def _load_or_generate_suite(args, graph):
+def _load_or_generate_suite(args, graph, spec=None):
     if getattr(args, "suite", None):
         from .core.testgen import TestSuite
 
         return TestSuite.load(args.suite)
-    return generate_test_cases(graph, por=not args.no_por, seed=args.seed)
+    independence = _spec_independence(spec) if spec is not None else None
+    return generate_test_cases(graph, por=not args.no_por, seed=args.seed,
+                               independence=independence)
 
 
 def _cmd_test(args) -> int:
@@ -245,7 +269,7 @@ def _cmd_test(args) -> int:
             from .engine import canonicalize
 
             graph = canonicalize(graph)
-        suite = _load_or_generate_suite(args, graph)
+        suite = _load_or_generate_suite(args, graph, spec)
         plan = None
         base_suite = suite
         max_cases = args.cases
@@ -338,7 +362,7 @@ def _cmd_faults(args) -> int:
         # graph was explored
         graph = canonicalize(
             check(spec, max_states=args.max_states, truncate=True).graph)
-        suite = _load_or_generate_suite(args, graph)
+        suite = _load_or_generate_suite(args, graph, spec)
         return mapping, cluster_factory, graph, suite
 
     if args.faults_command == "plan":
@@ -471,18 +495,49 @@ def _cmd_lint(args) -> int:
 
     names = all_targets() if args.target == "all" else [args.target]
     worst_hit = False
+    results = []
     for name in names:
         try:
             result = lint_target(name)
         except ValueError as exc:
             raise SystemExit(str(exc))
-        print(render_json(result) if args.format == "json"
-              else render_text(result))
+        results.append(result)
+        if args.format == "json":
+            print(render_json(result))
+        elif args.format == "text":
+            print(render_text(result))
         if args.fail_on != "none":
             threshold = Severity.parse(args.fail_on)
             if result.unsuppressed(threshold):
                 worst_hit = True
+    if args.format == "sarif":
+        # one aggregated SARIF document over every linted target, for
+        # GitHub code scanning upload
+        from .analysis import render_sarif
+
+        print(render_sarif(results))
     return 1 if worst_hit else 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import targets
+    from .analysis.effects import analyze_spec
+    from .analysis.effects_report import (
+        render_effects_dot, render_effects_json, render_effects_text,
+    )
+
+    try:
+        context = targets.resolve(args.target)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    effects = analyze_spec(context.spec)
+    print(render_effects_json(effects) if args.format == "json"
+          else render_effects_text(effects))
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(render_effects_dot(effects))
+        print(f"action-dependency graph written to {args.dot}")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -770,12 +825,30 @@ def main(argv: Optional[list] = None) -> int:
         "target",
         help="a system (toycache|pyxraft|raftkv|minizk), a bare spec "
              "(example|xraft|zab), or 'all'")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="sarif prints one aggregated SARIF 2.1.0 "
+                             "document for GitHub code scanning")
     p_lint.add_argument(
         "--fail-on", choices=("error", "warning", "none"), default="error",
         help="exit 1 when unsuppressed findings at/above this severity "
              "exist (default: error)")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static effect analysis of a target's spec actions")
+    p_analyze.add_argument(
+        "target",
+        help="a system (toycache|pyxraft|raftkv|minizk) or a bare spec "
+             "(example|xraft|zab)")
+    p_analyze.add_argument("--format", choices=("text", "json"),
+                           default="text",
+                           help="json prints the stable v1 envelope")
+    p_analyze.add_argument("--dot", metavar="FILE",
+                           help="write the action-dependency graph (DOT) "
+                                "to FILE")
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_conform = sub.add_parser(
         "conform",

@@ -24,6 +24,7 @@ def generate_test_cases(
     por: bool = True,
     seed: int = 0,
     max_cases: Optional[int] = None,
+    independence=None,
 ) -> TestSuite:
     """Generate a test suite from a verified state-space graph.
 
@@ -32,11 +33,16 @@ def generate_test_cases(
     ``por`` — apply partial order reduction before traversal.
     ``seed`` — determinizes POR's interleaving choices.
     ``max_cases`` — optional cap on the number of generated cases.
+    ``independence`` — optional static commutativity certificates from
+    :func:`repro.analysis.effects.analyze_spec`; accelerates POR's
+    diamond search without changing the generated suite.
     """
     with TRACER.span("testgen.generate", spec=graph.spec_name, por=por,
                      seed=seed) as gen_span:
         end_ids: Iterable[int] = end_states(graph) if end_states is not None else ()
-        excluded = por_excluded_edges(graph, seed=seed) if por else set()
+        excluded = (por_excluded_edges(graph, seed=seed,
+                                       independence=independence)
+                    if por else set())
         traversal = edge_coverage_paths(
             graph,
             end_state_ids=end_ids,

@@ -20,7 +20,7 @@ is deterministic given ``seed``.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ...obs import METRICS, TRACER
 from ...tlaplus.graph import Edge, StateGraph
@@ -49,14 +49,30 @@ class Diamond:
         )
 
 
-def find_diamonds(graph: StateGraph) -> List[Diamond]:
+def find_diamonds(graph: StateGraph, independence=None) -> List[Diamond]:
     """Enumerate commutative diamonds.
 
     For each state, each unordered pair of outgoing edges with distinct
     labels is checked for the matching pair of second hops that join in
     a single state.  Each diamond is reported once (labels ordered by
     repr, so ``first_a.label < first_b.label``).
+
+    ``independence`` is an optional
+    :class:`repro.analysis.effects.IndependenceRelation`: for action
+    pairs it certifies as statically commutative the per-diamond join
+    verification is skipped (the disjoint effect footprints already
+    guarantee both interleavings land in the same state), turning the
+    dominant cost of diamond search into a dictionary lookup.  The
+    result is the same diamond list either way — the certificate is a
+    proof, not a heuristic — which the byte-identical suite guard test
+    checks for every bundled target.
     """
+    if independence is None:
+        return _find_diamonds_legacy(graph)
+    return _find_diamonds_static(graph, independence)
+
+
+def _find_diamonds_legacy(graph: StateGraph) -> List[Diamond]:
     diamonds: List[Diamond] = []
     for node_id in range(graph.num_states):
         out = graph.out_edges(node_id)
@@ -80,6 +96,64 @@ def find_diamonds(graph: StateGraph) -> List[Diamond]:
     return diamonds
 
 
+def _find_diamonds_static(graph: StateGraph, independence) -> List[Diamond]:
+    """The statically-accelerated diamond search.
+
+    Semantically identical to the legacy nested loop (same iteration
+    order, same first-match-per-label second-hop lookup), with two
+    speedups: per-state ``{label: first edge}`` indexes replace the
+    linear ``_edge_with_label`` scans, and certified pairs skip the
+    join-equality comparison.  Both second hops must still *exist* —
+    a truncated graph (depth bound) can cut one interleaving short,
+    and those half-diamonds are skipped exactly as before.
+    """
+    diamonds: List[Diamond] = []
+    label_index: Dict[int, Dict] = {}
+    label_repr: Dict = {}   # ActionLabel -> repr, computed once per label
+    certified: Dict[Tuple[str, str], bool] = {}
+
+    def index_of(node_id: int) -> Dict:
+        idx = label_index.get(node_id)
+        if idx is None:
+            idx = {}
+            for edge in graph.out_edges(node_id):
+                idx.setdefault(edge.label, edge)
+            label_index[node_id] = idx
+        return idx
+
+    def repr_of(label) -> str:
+        text = label_repr.get(label)
+        if text is None:
+            text = repr(label)
+            label_repr[label] = text
+        return text
+
+    for node_id in range(graph.num_states):
+        out = graph.out_edges(node_id)
+        for i, edge_a in enumerate(out):
+            for edge_b in out[i + 1 :]:
+                if edge_a.label == edge_b.label:
+                    continue
+                if edge_a.dst == edge_b.dst:
+                    continue
+                first_a, first_b = edge_a, edge_b
+                if repr_of(first_b.label) < repr_of(first_a.label):
+                    first_a, first_b = first_b, first_a
+                second_a = index_of(first_a.dst).get(first_b.label)
+                second_b = index_of(first_b.dst).get(first_a.label)
+                if second_a is None or second_b is None:
+                    continue
+                names = (first_a.label.name, first_b.label.name)
+                is_certified = certified.get(names)
+                if is_certified is None:
+                    is_certified = independence.certified(*names)
+                    certified[names] = is_certified
+                if not is_certified and second_a.dst != second_b.dst:
+                    continue
+                diamonds.append(Diamond(node_id, first_a, second_a, first_b, second_b))
+    return diamonds
+
+
 def _edge_with_label(graph: StateGraph, src: int, label) -> Edge:
     for edge in graph.out_edges(src):
         if edge.label == label:
@@ -87,7 +161,8 @@ def _edge_with_label(graph: StateGraph, src: int, label) -> Edge:
     return None
 
 
-def por_excluded_edges(graph: StateGraph, seed: int = 0) -> Set[Edge]:
+def por_excluded_edges(graph: StateGraph, seed: int = 0,
+                       independence=None) -> Set[Edge]:
     """Pick the coverage targets to drop: one interleaving per diamond.
 
     Returns the set of *second-hop* edges of the non-chosen
@@ -95,13 +170,18 @@ def por_excluded_edges(graph: StateGraph, seed: int = 0) -> Set[Edge]:
     one diamond is never also excluded by another diamond (kept edges
     are pinned first), so at least one interleaving of every diamond
     remains fully traversable.
+
+    ``independence`` (optional static certificates from
+    ``repro.analysis.effects``) accelerates the diamond search without
+    changing its result; the seeded exclusion choice consumes the rng
+    identically either way, so suites stay byte-identical.
     """
     rng = random.Random(seed)
     with TRACER.span("por.reduce", spec=graph.spec_name, seed=seed) as por_span:
         excluded: Set[Tuple] = set()
         kept: Set[Tuple] = set()
         result: Set[Edge] = set()
-        diamonds = find_diamonds(graph)
+        diamonds = find_diamonds(graph, independence=independence)
         for diamond in diamonds:
             option_a = diamond.second_a  # drop candidate if order B is kept
             option_b = diamond.second_b
@@ -139,8 +219,8 @@ def por_excluded_edges(graph: StateGraph, seed: int = 0) -> Set[Edge]:
         return result
 
 
-def diamond_stats(graph: StateGraph) -> Dict[str, int]:
+def diamond_stats(graph: StateGraph, independence=None) -> Dict[str, int]:
     """Summary numbers for benches: diamonds found and edges dropped."""
-    diamonds = find_diamonds(graph)
-    dropped = por_excluded_edges(graph)
+    diamonds = find_diamonds(graph, independence=independence)
+    dropped = por_excluded_edges(graph, independence=independence)
     return {"diamonds": len(diamonds), "excluded_edges": len(dropped)}

@@ -114,7 +114,8 @@ class VariableDecl:
 class ActionDecl:
     """Declaration of one spec action (a disjunct of ``Next``)."""
 
-    __slots__ = ("name", "fn", "params", "kind", "msg_param", "message_var", "doc")
+    __slots__ = ("name", "fn", "params", "kind", "msg_param", "message_var",
+                 "doc", "file", "line")
 
     def __init__(
         self,
@@ -133,6 +134,11 @@ class ActionDecl:
         self.msg_param = msg_param
         self.message_var = message_var
         self.doc = doc
+        # source anchor for static analysis (repro.analysis.effects) and
+        # lint findings; None for callables without a code object
+        code = getattr(fn, "__code__", None)
+        self.file: Optional[str] = code.co_filename if code else None
+        self.line: Optional[int] = code.co_firstlineno if code else None
 
     def domains(self, state: State, const: Mapping[str, Any]) -> List[Tuple[str, List[Any]]]:
         """Evaluate every parameter domain against the current state."""

@@ -1,0 +1,246 @@
+"""ImplModel extraction edge cases: nested spans, mention-only helper
+coverage, hook-write attribution, and the per-file extraction cache."""
+
+import textwrap
+
+from repro.analysis import ImplModel
+from repro.analysis.astmodel import clear_cache
+
+
+def model_of(tmp_path, source, name="node.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    return ImplModel.from_package(str(tmp_path))
+
+
+class TestNestedActionSpans:
+    def test_nested_spans_cover_their_union(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("n")
+            m = traced_field("m")
+
+            def step(self):
+                with action_span(self, "Outer", {}):
+                    self.n += 1
+                    with action_span(self, "Inner", {}):
+                        self.m += 1
+                self.n = 0
+        """
+        model = model_of(tmp_path, source)
+        assert {h.action for h in model.hooks} == {"Outer", "Inner"}
+        # both in-span writes are covered; only the trailing reset leaks
+        [write] = model.shadow_writes
+        assert (write.attr, write.method) == ("n", "step")
+
+    def test_nested_span_write_attributed_to_both_actions(self, tmp_path):
+        source = """
+        class Node:
+            m = traced_field("m")
+
+            def step(self):
+                with action_span(self, "Outer", {}):
+                    with action_span(self, "Inner", {}):
+                        self.m += 1
+        """
+        model = model_of(tmp_path, source)
+        assert {(w.action, w.attr) for w in model.hook_writes} == \
+            {("Outer", "m"), ("Inner", "m")}
+
+    def test_sequential_spans_attribute_writes_separately(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("n")
+            m = traced_field("m")
+
+            def step(self):
+                with action_span(self, "First", {}):
+                    self.n += 1
+                with action_span(self, "Second", {}):
+                    self.m += 1
+        """
+        model = model_of(tmp_path, source)
+        assert {(w.action, w.attr) for w in model.hook_writes} == \
+            {("First", "n"), ("Second", "m")}
+
+
+class TestHelperCoverage:
+    def test_mention_only_reference_from_hook_covers_helper(self, tmp_path):
+        # `self.helper` passed as a callback, never called directly:
+        # the mention sits on a covered line, so the helper is covered
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self.defer(self._bump)
+
+            def _bump(self):
+                self.n += 1
+        """
+        assert model_of(tmp_path, source).shadow_writes == []
+
+    def test_mention_from_uncovered_method_leaks(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self.defer(self._bump)
+
+            def rogue(self):
+                self.defer(self._bump)
+
+            def _bump(self):
+                self.n += 1
+        """
+        [write] = model_of(tmp_path, source).shadow_writes
+        assert write.method == "_bump"
+
+    def test_helper_chain_covers_transitively(self, tmp_path):
+        # incr -> _outer -> _bump: the fixpoint must propagate coverage
+        # through the intermediate helper
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self._outer()
+
+            def _outer(self):
+                self._bump()
+
+            def _bump(self):
+                self.n += 1
+        """
+        assert model_of(tmp_path, source).shadow_writes == []
+
+    def test_helper_mentioned_inside_span_block_is_covered(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            def step(self):
+                with action_span(self, "Step", {}):
+                    self._bump()
+
+            def _bump(self):
+                self.n += 1
+        """
+        assert model_of(tmp_path, source).shadow_writes == []
+
+    def test_helper_writes_are_not_attributed_to_actions(self, tmp_path):
+        # transitively-covered helper writes carry no action attribution
+        # (a helper may run under several hooks), so MCK306 stays out
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self._bump()
+
+            @mocket_action("Decr")
+            def decr(self):
+                self._bump()
+
+            def _bump(self):
+                self.n += 1
+        """
+        model = model_of(tmp_path, source)
+        assert model.shadow_writes == []
+        assert model.hook_writes == []
+
+
+class TestHookWriteAttribution:
+    def test_decorated_method_write(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("shadowN")
+
+            @mocket_action("Incr", ("i",))
+            def incr(self):
+                self.n += 1
+        """
+        [write] = model_of(tmp_path, source).hook_writes
+        assert (write.attr, write.spec_name, write.action,
+                write.class_name, write.method) == \
+            ("n", "shadowN", "Incr", "Node", "incr")
+        assert write.file.endswith("node.py")
+        assert write.line > 0
+
+    def test_init_writes_are_covered_but_not_attributed(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            def __init__(self):
+                self.n = 0
+        """
+        model = model_of(tmp_path, source)
+        assert model.shadow_writes == []
+        assert model.hook_writes == []
+
+
+class TestFileCache:
+    def test_repeated_extraction_shares_the_parse(self, tmp_path):
+        source = """
+        class Node:
+            n = traced_field("n")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self.n += 1
+        """
+        first = model_of(tmp_path, source)
+        second = ImplModel.from_package(str(tmp_path))
+        assert second.shadow_names == first.shadow_names
+        assert second.hook_actions == first.hook_actions
+        # cache hit: the frozen entries are literally shared
+        assert second.traced_fields[0] is first.traced_fields[0]
+        assert second.hooks[0] is first.hooks[0]
+
+    def test_rewritten_file_invalidates_the_entry(self, tmp_path):
+        model_of(tmp_path, """
+        class Node:
+            n = traced_field("n")
+        """)
+        import os
+        path = tmp_path / "node.py"
+        path.write_text(textwrap.dedent("""
+        class Node:
+            m = traced_field("m")
+        """))
+        # force a different (mtime_ns, size)-signature even on coarse
+        # filesystem timestamps
+        os.utime(path, ns=(1, 1))
+        model = ImplModel.from_package(str(tmp_path))
+        assert model.shadow_names == {"m"}
+
+    def test_clear_cache_forces_reextraction(self, tmp_path):
+        first = model_of(tmp_path, """
+        class Node:
+            n = traced_field("n")
+        """)
+        clear_cache()
+        second = ImplModel.from_package(str(tmp_path))
+        assert second.shadow_names == first.shadow_names
+        assert second.traced_fields[0] is not first.traced_fields[0]
+
+    def test_merge_accumulates_across_files(self, tmp_path):
+        model_of(tmp_path, """
+        class A:
+            n = traced_field("n")
+        """, name="a.py")
+        model = model_of(tmp_path, """
+        class B:
+            m = traced_field("m")
+
+            @mocket_action("Incr")
+            def incr(self):
+                self.m += 1
+        """, name="b.py")
+        assert model.shadow_names == {"n", "m"}
+        assert len(model.files) == 2

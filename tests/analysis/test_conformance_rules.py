@@ -247,7 +247,9 @@ class TestDormantFaultVocabulary:
                    .map_variable("n", "shadowN")
                    .map_action("Incr")
                    .map_crash("Crash"))
-        assert lint_codes(spec, mapping) == []
+        # no budget-rule findings; MCK303 correctly flags that the
+        # guard-disabled Crash action is dead under EnableCrash=False
+        assert lint_codes(spec, mapping) == ["MCK303"]
 
 
 class TestUnboundConformAction:

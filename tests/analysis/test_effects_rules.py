@@ -1,0 +1,319 @@
+"""Effect rules (MCK301-MCK306): accept and reject fixtures per rule."""
+
+import textwrap
+
+from repro.analysis import ImplModel, LintContext, Severity, run_lint
+from repro.core.mapping import SpecMapping
+from repro.tlaplus.spec import Specification
+
+
+def effect_codes(spec, mapping=None, impl=None):
+    result = run_lint(LintContext("fixture", spec, mapping, impl))
+    return [f.code for f in result.findings if f.code.startswith("MCK3")]
+
+
+def effect_findings(spec, mapping=None, impl=None):
+    result = run_lint(LintContext("fixture", spec, mapping, impl))
+    return [f for f in result.findings if f.code.startswith("MCK3")]
+
+
+def base_spec(constants=None):
+    """Two variables, each read and written by its own action: every
+    MCK30x rule is silent on this shape."""
+    spec = Specification("fx", constants=constants or {})
+    spec.add_variable("n")
+    spec.add_variable("m")
+
+    @spec.init
+    def init(const):
+        return {"n": 0, "m": 0}
+
+    @spec.action()
+    def Incr(state, const):
+        return {"n": state.n + 1}
+
+    @spec.action()
+    def Bump(state, const):
+        return {"m": state.m + 1}
+
+    return spec
+
+
+class TestMCK301WriteOnly:
+    def test_base_spec_is_clean(self):
+        assert effect_codes(base_spec()) == []
+
+    def test_written_but_never_read_variable(self):
+        spec = base_spec()
+        spec.add_variable("ghost")
+
+        @spec.action()
+        def Haunt(state, const):
+            if state.n:
+                return {"ghost": state.n}
+            return None
+
+        [finding] = effect_findings(spec)
+        assert finding.code == "MCK301"
+        assert finding.severity is Severity.WARNING
+        assert "'ghost'" in finding.message
+        assert "Haunt" in finding.message
+
+    def test_invariant_read_keeps_variable_live(self):
+        spec = base_spec()
+        spec.add_variable("ghost")
+
+        @spec.action()
+        def Haunt(state, const):
+            return {"ghost": state.n}
+
+        @spec.invariant()
+        def GhostOk(state, const):
+            return state.ghost >= 0
+
+        assert effect_codes(spec) == []
+
+    def test_domain_read_keeps_variable_live(self):
+        spec = base_spec()
+        spec.add_variable("ghost")
+
+        @spec.action(params={"g": lambda state, const: sorted(state.ghost)})
+        def Haunt(state, const, g):
+            return {"ghost": (g,)}
+
+        assert effect_codes(spec) == []
+
+    def test_any_unknown_footprint_silences_the_rule(self):
+        spec = base_spec()
+        spec.add_variable("ghost")
+
+        @spec.action()
+        def Haunt(state, const):
+            return {"ghost": state.n}
+
+        @spec.action()
+        def Opaque(state, const):
+            extra = {"n": 1}
+            return {**extra}   # unknown writes: no basis for liveness claims
+
+        assert effect_codes(spec) == []
+
+
+class TestMCK302ReadOnly:
+    def test_read_but_never_written_variable(self):
+        spec = base_spec()
+        spec.add_variable("cfg")
+
+        @spec.action()
+        def UseCfg(state, const):
+            return {"n": state.n + state.cfg}
+
+        [finding] = effect_findings(spec)
+        assert finding.code == "MCK302"
+        assert finding.severity is Severity.WARNING
+        assert "'cfg'" in finding.message
+        assert "constant" in finding.message
+
+    def test_unread_unwritten_variable_is_not_this_rules_business(self):
+        spec = base_spec()
+        spec.add_variable("idle")   # structural rules own this case
+        assert "MCK302" not in effect_codes(spec)
+
+
+class TestMCK303UnsatisfiableGuard:
+    def _guarded_spec(self, enabled):
+        spec = base_spec(constants={"Enable": enabled, "Max": 2})
+
+        @spec.action()
+        def Guarded(state, const):
+            if not const["Enable"]:
+                return None
+            return {"n": 0}
+
+        return spec
+
+    def test_guard_false_under_constants_fires(self):
+        [finding] = effect_findings(self._guarded_spec(enabled=False))
+        assert finding.code == "MCK303"
+        assert "'Guarded'" in finding.message
+        assert finding.file and finding.file.endswith("test_effects_rules.py")
+
+    def test_guard_true_under_constants_is_clean(self):
+        assert effect_codes(self._guarded_spec(enabled=True)) == []
+
+    def test_arithmetic_and_len_guards_evaluate(self):
+        spec = base_spec(constants={"Quorum": 2, "Server": ("a", "b")})
+
+        @spec.action()
+        def Dead(state, const):
+            if len(const["Server"]) < const["Quorum"] + 1:
+                return None
+            return {"n": 0}
+
+        assert effect_codes(spec) == ["MCK303"]
+
+    def test_state_dependent_guard_is_not_evaluated(self):
+        spec = base_spec(constants={"Enable": False})
+
+        @spec.action()
+        def Mixed(state, const):
+            if not const["Enable"] and state.n == 0:
+                return None
+            return {"n": 0}
+
+        assert effect_codes(spec) == []
+
+    def test_guard_behind_state_statement_is_skipped(self):
+        # only *leading* const guards count: after a state-dependent
+        # early return the const guard is no longer proof of deadness
+        spec = base_spec(constants={"Enable": False})
+
+        @spec.action()
+        def Later(state, const):
+            if state.n > 0:
+                return None
+            if not const["Enable"]:
+                return None
+            return {"n": 0}
+
+        assert effect_codes(spec) == []
+
+
+class TestMCK304UndeclaredUpdate:
+    def test_undeclared_key_is_an_error(self):
+        spec = base_spec()
+
+        @spec.action()
+        def Typo(state, const):
+            return {"nn": state.n + 1}
+
+        [finding] = effect_findings(spec)
+        assert finding.code == "MCK304"
+        assert finding.severity is Severity.ERROR
+        assert "'nn'" in finding.message
+        assert finding.line and finding.line > 0
+
+    def test_tracked_updates_dict_is_also_checked(self):
+        spec = base_spec()
+
+        @spec.action()
+        def Typo(state, const):
+            updates = {"n": state.n}
+            updates["mm"] = 1
+            return updates
+
+        assert effect_codes(spec) == ["MCK304"]
+
+
+class TestMCK305Nondeterminism:
+    def test_random_call_is_an_error(self):
+        spec = base_spec()
+
+        @spec.action()
+        def Flaky(state, const):
+            import random
+            return {"n": random.randint(0, 1)}
+
+        findings = [f for f in effect_findings(spec) if f.code == "MCK305"]
+        assert findings
+        assert findings[0].severity is Severity.ERROR
+        assert "Flaky" in findings[0].message
+
+    def test_set_iteration_is_an_error(self):
+        spec = base_spec()
+
+        @spec.action()
+        def Unordered(state, const):
+            total = 0
+            for v in {1, 2, 3}:
+                total += v
+            return {"n": total}
+
+        assert "MCK305" in effect_codes(spec)
+
+    def test_state_mutation_is_an_error(self):
+        spec = base_spec()
+
+        @spec.action()
+        def Mutator(state, const):
+            state.n += 1
+            return {"n": state.n}
+
+        assert "MCK305" in effect_codes(spec)
+
+
+def impl_model(tmp_path, source):
+    (tmp_path / "node.py").write_text(textwrap.dedent(source))
+    return ImplModel.from_package(str(tmp_path))
+
+
+def impl_mapping(spec):
+    return (SpecMapping(spec)
+            .map_variable("n", "n")
+            .map_variable("m", "m")
+            .map_action("Incr")
+            .map_action("Bump"))
+
+
+CLEAN_IMPL = """
+class Node:
+    n = traced_field("n")
+    m = traced_field("m")
+
+    def __init__(self):
+        self.n = 0
+        self.m = 0
+
+    @mocket_action("Incr")
+    def incr(self):
+        self.n += 1
+
+    @mocket_action("Bump")
+    def bump(self):
+        self.m += 1
+"""
+
+
+class TestMCK306FootprintDrift:
+    def test_matching_footprints_are_clean(self, tmp_path):
+        spec = base_spec()
+        assert effect_codes(spec, impl_mapping(spec),
+                            impl_model(tmp_path, CLEAN_IMPL)) == []
+
+    def test_hook_writing_outside_spec_footprint(self, tmp_path):
+        source = CLEAN_IMPL.replace(
+            "self.n += 1", "self.n += 1\n        self.m = 0")
+        spec = base_spec()
+        [finding] = effect_findings(spec, impl_mapping(spec),
+                                    impl_model(tmp_path, source))
+        assert finding.code == "MCK306"
+        assert finding.severity is Severity.WARNING
+        assert "'m'" in finding.message
+        assert "'Incr'" in finding.message
+        assert finding.file and finding.file.endswith("node.py")
+
+    def test_action_span_write_outside_footprint(self, tmp_path):
+        source = CLEAN_IMPL.replace(
+            "self.n += 1",
+            'with action_span(self, "Incr", {}):\n'
+            "            self.m = 0")
+        spec = base_spec()
+        codes = effect_codes(spec, impl_mapping(spec),
+                             impl_model(tmp_path, source))
+        assert codes == ["MCK306"]
+
+    def test_unknown_hook_action_is_not_this_rules_business(self, tmp_path):
+        source = CLEAN_IMPL + """
+    @mocket_action("Mystery")
+    def mystery(self):
+        self.m = 0
+"""
+        spec = base_spec()
+        # MCK204 reports the unknown hook; MCK306 must stay silent
+        assert effect_codes(spec, impl_mapping(spec),
+                            impl_model(tmp_path, source)) == []
+
+    def test_rule_requires_an_impl_model(self):
+        spec = base_spec()
+        result = run_lint(LintContext("fixture", spec, impl_mapping(spec)))
+        assert "MCK306" not in [f.code for f in result.findings]

@@ -115,7 +115,9 @@ class TestSuppressions:
 class TestEngine:
     def test_spec_only_context_skips_conformance_rules(self):
         result = run_lint(LintContext("fixture", make_spec()))
-        assert result.rules_run == 7  # MCK001-MCK007 only
+        # MCK001-MCK007 plus the spec-only effect rules MCK301-MCK305;
+        # mapping/impl rules (incl. MCK306) are skipped
+        assert result.rules_run == 12
 
     def test_clean_fixture_has_no_findings(self):
         result = run_lint(LintContext("fixture", make_spec()))

@@ -80,6 +80,6 @@ def test_tutorial_blocks_run_verbatim(tmp_path, monkeypatch, capsys):
 def test_tutorial_mentions_every_pipeline_stage():
     text = TUTORIAL.read_text()
     for verb in ("mocket check", "mocket testgen", "mocket test",
-                 "mocket lint", "mocket trace summarize", "--faults",
-                 "--fault-seed", "--workers"):
+                 "mocket lint", "mocket analyze", "mocket trace summarize",
+                 "--faults", "--fault-seed", "--workers"):
         assert verb in text, f"tutorial no longer covers {verb}"
