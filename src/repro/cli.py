@@ -14,6 +14,12 @@ Subcommands mirror the pipeline stages:
   saved plan, ``shrink`` minimizes a failing plan to a minimal repro,
   ``scenarios`` replays the bundled chaos scenarios (``--format json``
   for the stable v1 envelope),
+* ``mocket fuzz TARGET``   — coverage-guided fuzzing of fault
+  schedules: execute ``--budget N`` schedules, fingerprint the verified
+  states/edges each run visits, keep coverage-novel schedules in the
+  ``--corpus DIR``, and breed the next schedule from an energy-picked
+  corpus entry (``--unguided`` for the feedback-free control arm,
+  ``--format json`` for the stable v1 envelope; see docs/FUZZING.md),
 * ``mocket bugs``          — replay all nine Table 2 bug scenarios,
 * ``mocket lint TARGET``   — static conformance analysis of a bundled
   system (spec + mapping + instrumented source) or bare spec; rule
@@ -401,7 +407,7 @@ def _cmd_faults(args) -> int:
             outcome = tester.run_suite(suite, max_cases=max_cases,
                                        workers=args.workers)
             print(outcome.summary())
-            payload = triage(outcome, plan)
+            payload = triage(outcome, plan, graph=graph)
             print(render_triage(payload))
             if (payload["unattributed"]
                     and getattr(args, "shrink_on_failure", False)):
@@ -487,6 +493,52 @@ def _cmd_faults(args) -> int:
         return 1 if failed else 0
 
     raise SystemExit(f"unknown faults subcommand {args.faults_command!r}")
+
+
+def _cmd_fuzz(args) -> int:
+    from .engine import canonicalize
+    from .faults import FaultPlan
+    from .fuzz import (
+        FuzzError, fuzz_campaign, render_fuzz_json, render_fuzz_text,
+    )
+
+    def command() -> int:
+        spec, mapping, cluster_factory = _target_kit(args.target, args.bug)
+        # canonical renumbering, as everywhere plans travel: corpora are
+        # exchangeable and independent of how the graph was explored
+        graph = canonicalize(
+            check(spec, max_states=args.max_states, truncate=True).graph)
+        suite = _load_or_generate_suite(args, graph, spec)
+        suite = suite.truncated(args.cases)
+        try:
+            seed_plans = [FaultPlan.load(path) for path in args.seed_plan]
+        except FileNotFoundError as exc:
+            print(f"fuzz: no such seed plan: {exc.filename}",
+                  file=sys.stderr)
+            return 2
+        try:
+            result = fuzz_campaign(
+                graph, suite, mapping, cluster_factory,
+                cluster_factory().node_ids,
+                budget=args.budget, fuzz_seed=str(args.fuzz_seed),
+                corpus_dir=args.corpus, target=args.target,
+                chaos=args.chaos, max_faults=args.max_faults,
+                workers=args.workers, guided=not args.unguided,
+                seed_plans=seed_plans, runner_config=_RUNNER)
+        except FuzzError as exc:
+            print(f"fuzz: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(render_fuzz_json(result))
+        else:
+            arm = "guided" if result.guided else "unguided"
+            print(f"fuzzing {args.target} ({arm}): budget {args.budget}, "
+                  f"fuzz seed '{result.corpus.meta['fuzz_seed']}', "
+                  f"{len(suite)} base case(s)")
+            print(render_fuzz_text(result))
+        return 1 if result.bugs else 0
+
+    return _with_obs(args, command)
 
 
 def _cmd_lint(args) -> int:
@@ -815,6 +867,44 @@ def main(argv: Optional[list] = None) -> int:
     p_fscen.add_argument("--format", choices=("text", "json"), default="text",
                          help="json prints the stable v1 envelope")
     p_fscen.set_defaults(func=_cmd_faults, faults_command="scenarios")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fuzzing of fault schedules "
+             "(see docs/FUZZING.md)")
+    add_faults_common(p_fuzz)
+    p_fuzz.add_argument("--budget", type=int, default=20, metavar="N",
+                        help="execute N schedules this invocation "
+                             "(default: 20); re-running with --corpus "
+                             "resumes the same deterministic stream")
+    p_fuzz.add_argument("--corpus", metavar="DIR",
+                        help="keep coverage-novel schedules in DIR "
+                             "(created if missing; omitted = in-memory)")
+    p_fuzz.add_argument("--fuzz-seed", default="0", metavar="SEED",
+                        help="campaign seed: same seed => byte-identical "
+                             "corpus, independent of --workers and "
+                             "PYTHONHASHSEED (default: 0)")
+    p_fuzz.add_argument("--cases", type=int, default=None,
+                        help="truncate the base suite to N cases")
+    p_fuzz.add_argument("--chaos", action="store_true",
+                        help="let mutations also inject disruptive "
+                             "spec-unmodeled faults (bounce/crash/corrupt)")
+    p_fuzz.add_argument("--max-faults", type=int, default=1, metavar="K",
+                        help="k-budget per case for mutated schedules "
+                             "(default: 1)")
+    p_fuzz.add_argument("--seed-plan", action="append", default=[],
+                        metavar="FILE",
+                        help="import a plan written by 'faults plan --out' "
+                             "as a corpus seed (repeatable)")
+    p_fuzz.add_argument("--unguided", action="store_true",
+                        help="control arm: same budget, plain seeded "
+                             "planner stream, no coverage feedback")
+    p_fuzz.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="json prints the stable v1 envelope")
+    add_engine_flags(p_fuzz)
+    add_obs_flags(p_fuzz)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")
     p_bugs.set_defaults(func=_cmd_bugs)

@@ -67,6 +67,9 @@ class ControlledTester:
         self.graph = graph
         self.cluster_factory = cluster_factory
         self.config = config or RunnerConfig()
+        # state-fingerprint cache for traced runs (states are interned
+        # in the graph, so keying by the State object amortizes hashing)
+        self._fp_cache: dict = {}
 
     # -- suite ------------------------------------------------------------------
     def run_suite(self, suite: TestSuite, stop_on_divergence: bool = False,
@@ -79,7 +82,9 @@ class ControlledTester:
             return run_suite_parallel(self, suite, workers=workers,
                                       stop_on_divergence=stop_on_divergence,
                                       max_cases=max_cases)
-        with TRACER.span("runner.suite", cases=len(suite)) as suite_span:
+        with TRACER.span("runner.suite", cases=len(suite),
+                         graph_states=self.graph.num_states,
+                         graph_edges=self.graph.num_edges) as suite_span:
             if TRACER.enabled:
                 # pre-register so the table always shows every kind, 0 included
                 for kind in DivergenceKind:
@@ -183,10 +188,45 @@ class ControlledTester:
             if TRACER.enabled:
                 step_span.add(outcome=("ok" if divergence is None
                                        else divergence.kind.value))
+                if divergence is None:
+                    # the step confirmed a verified transition: record
+                    # its stable fingerprints so `trace summarize` (and
+                    # the fuzzer) can compute graph coverage offline
+                    src_fp, edge_fp, dst_fp = self._step_fingerprints(
+                        case, index, step)
+                    step_span.add(src_fp=src_fp, edge_fp=edge_fp,
+                                  dst_fp=dst_fp)
                 METRICS.counter("runner.steps").inc()
                 METRICS.histogram("runner.step_seconds").observe(
                     time.monotonic() - step_start)
             return divergence
+
+    def _step_fingerprints(self, case: TestCase, index: int,
+                           step: TestStep) -> tuple:
+        """Content-anchored (src, edge, dst) fingerprints of one step.
+
+        The hex values match :mod:`repro.engine.fingerprint` on states
+        and :func:`repro.fuzz.fingerprint.edge_fingerprint` on edges,
+        so offline consumers can align them with the canonical graph
+        regardless of worker count or ``PYTHONHASHSEED``.
+        """
+        # lazy: repro.engine builds on this module
+        from ...engine.fingerprint import fingerprint_state, fingerprint_value
+
+        def state_fp(state) -> int:
+            fp = self._fp_cache.get(state)
+            if fp is None:
+                fp = fingerprint_state(state)
+                self._fp_cache[state] = fp
+            return fp
+
+        src_state = (case.initial_state if index == 0
+                     else case.steps[index - 1].expected_state)
+        src = state_fp(src_state)
+        dst = state_fp(step.expected_state)
+        edge = fingerprint_value((src, step.label.name, step.label.params,
+                                  dst))
+        return f"{src:016x}", f"{edge:016x}", f"{dst:016x}"
 
     # -- steps ----------------------------------------------------------------------
     def _execute_step(self, index: int, step: TestStep, runtime: MocketRuntime,

@@ -7,7 +7,9 @@ runtime :class:`Nemesis` applying crash / restart / partition / reorder
 faults, a :class:`FaultRunner` with bounded retry and convergence-mode
 checking, and :func:`triage` to attribute the resulting divergences.
 Failing plans shrink to a minimal repro with :func:`shrink_plan`
-(delta debugging + parameter shrinking, fully deterministic).
+(delta debugging + parameter shrinking, fully deterministic), and
+arbitrary plans — including fuzzer-mutated ones — are checkable against
+the planner's k-budget rules with :func:`plan_violations`.
 See docs/FAULTS.md.
 """
 
@@ -17,6 +19,7 @@ from .kinds import (
     InjectionMode,
     TRANSPARENT_KINDS,
 )
+from .legality import plan_is_legal, plan_violations
 from .nemesis import Nemesis
 from .plan import EdgeRef, FaultInjection, FaultPlan, PLAN_FORMAT
 from .planner import apply_plan, plan_faults
@@ -31,7 +34,7 @@ from .scenarios import (
     raftkv_bounce_leader,
 )
 from .shrink import ShrinkResult, shrink_plan
-from .triage import render_triage, triage
+from .triage import divergence_id, render_triage, triage
 
 __all__ = [
     "ChaosKind",
@@ -44,11 +47,14 @@ __all__ = [
     "FaultPlan",
     "plan_faults",
     "apply_plan",
+    "plan_violations",
+    "plan_is_legal",
     "Nemesis",
     "FaultConfig",
     "FaultRunner",
     "triage",
     "render_triage",
+    "divergence_id",
     "ShrinkResult",
     "shrink_plan",
     "ChaosScenario",

@@ -13,22 +13,60 @@ separates them mechanically:
 * everything else is **unattributed** — the interesting output, worth
   an investigator's time, and the only thing that fails the CLI run.
 
+Every failure carries a **stable id** (:func:`divergence_id`): a
+blake2b fingerprint of the divergence kind, the action, and the
+fingerprint of the verified state the case had confirmed when things
+went wrong.  The id is graph-anchored — independent of case numbering,
+suite truncation, seeds, worker counts and ``PYTHONHASHSEED`` — so the
+fuzzer's bias list and the corpus bug table dedup deterministically,
+and "the same bug" keeps the same name across campaigns.
+
 The triage payload is deliberately timing-free, so two runs with the
 same seed render byte-identical triage (the determinism guard checks
-this across worker counts).
+this across worker counts).  Passing ``graph=`` additionally records
+the run's visited-fingerprint coverage (see :mod:`repro.fuzz`), which
+is how an ordinary chaos run's payload can seed a fuzz corpus.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.testbed.report import SuiteResult
+from ..core.testbed.report import Divergence, SuiteResult
+from ..core.testgen.testcase import TestCase
+from ..engine.fingerprint import fingerprint_state, fingerprint_value
+from ..tlaplus.graph import StateGraph
 from .plan import FaultPlan
 
-__all__ = ["triage", "render_triage"]
+__all__ = ["divergence_id", "triage", "render_triage"]
 
 
-def triage(outcome: SuiteResult, plan: FaultPlan) -> Dict[str, Any]:
+def divergence_id(case: TestCase,
+                  divergence: Divergence) -> Tuple[str, int]:
+    """``(stable_id, anchor_fp)`` for one divergence.
+
+    The anchor is the fingerprint of the last *verified* state the case
+    confirmed before diverging (the initial state for step ``-1``, the
+    final state for the end-of-case check).  The id hashes
+    ``(kind, action, anchor)`` — two failures get the same id exactly
+    when the same kind of thing went wrong, on the same action, at the
+    same point of the verified state space.
+    """
+    step = divergence.step_index
+    if step <= 0:
+        anchor_state = case.initial_state
+    elif step >= len(case.steps):
+        anchor_state = case.final_state
+    else:
+        anchor_state = case.steps[step - 1].expected_state
+    anchor = fingerprint_state(anchor_state)
+    stamp = fingerprint_value((divergence.kind.value,
+                               divergence.action or "", anchor))
+    return f"dv-{stamp:016x}", anchor
+
+
+def triage(outcome: SuiteResult, plan: FaultPlan,
+           graph: Optional[StateGraph] = None) -> Dict[str, Any]:
     """Build the timing-free triage payload for a fault run."""
     derived = {injection.derived_case_id: injection
                for injection in plan.modeled()}
@@ -42,7 +80,9 @@ def triage(outcome: SuiteResult, plan: FaultPlan) -> Dict[str, Any]:
         for injection in plan.chaos_for(case_id):
             if injection.step_index <= divergence.step_index:
                 attributed.append(injection.summary())
+        stable_id, _anchor = divergence_id(result.case, divergence)
         failures.append({
+            "id": stable_id,
             "case_id": case_id,
             "kind": divergence.kind.value,
             "step_index": divergence.step_index,
@@ -52,7 +92,7 @@ def triage(outcome: SuiteResult, plan: FaultPlan) -> Dict[str, Any]:
             "attributed_to": attributed,
             "verdict": "fault-induced" if attributed else "unattributed",
         })
-    return {
+    payload = {
         "seed": plan.seed,
         "chaos": plan.chaos,
         "target": plan.target,
@@ -63,6 +103,16 @@ def triage(outcome: SuiteResult, plan: FaultPlan) -> Dict[str, Any]:
                             if f["verdict"] == "unattributed"),
         "failures": failures,
     }
+    if graph is not None:
+        from ..fuzz.fingerprint import run_coverage
+
+        coverage = run_coverage(outcome)
+        payload["coverage"] = {
+            "graph_states": graph.num_states,
+            "graph_edges": graph.num_edges,
+            **coverage.to_jsonable(),
+        }
+    return payload
 
 
 def render_triage(payload: Dict[str, Any]) -> str:
@@ -80,6 +130,15 @@ def render_triage(payload: Dict[str, Any]) -> str:
         lines.append(f"  case #{failure['case_id']} step "
                      f"{failure['step_index']}: {failure['headline']} "
                      f"[{failure['verdict']}]")
+        if failure["verdict"] == "unattributed":
+            lines.append(f"    id: {failure['id']}")
         for summary in failure["attributed_to"]:
             lines.append(f"    <- {summary}")
+    coverage = payload.get("coverage")
+    if coverage:
+        lines.append(
+            f"  coverage: {len(coverage['states'])} of "
+            f"{coverage['graph_states']} states, "
+            f"{len(coverage['edges'])} of {coverage['graph_edges']} "
+            f"edges visited")
     return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Seed selection: which corpus entry breeds the next schedule?
+
+AFL-style *energy*: an entry is worth mutating in proportion to how
+rare the coverage it holds is.  Each fingerprint contributes the
+reciprocal of its global hit count, normalized by entry size, so a
+schedule that is the only one reaching some corner of the graph keeps
+getting picked long after the common paths are saturated.  Two biases
+ride on top, per the fuzzer's brief:
+
+* entries whose run *diverged* (any failure, attributed or not) are
+  doubled — fault-adjacent schedules breed interesting children,
+* entries whose coverage touches the anchor state of a known bug
+  (an unattributed triage failure, see
+  :func:`repro.faults.triage.divergence_id`) are doubled again — the
+  neighbourhood of a past bug is where its siblings live.
+
+Selection is a deterministic seeded roulette wheel: same corpus, same
+rng stream, same pick — on any machine, any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Set
+
+from .corpus import CorpusEntry
+
+__all__ = ["entry_energy", "pick_entry"]
+
+
+def entry_energy(entry: CorpusEntry, state_hits: Dict[int, int],
+                 edge_hits: Dict[int, int],
+                 bug_anchors: Set[int]) -> float:
+    """Rarity-weighted energy of one corpus entry (> 0)."""
+    rarity = 0.0
+    for fp in entry.coverage.states:
+        rarity += 1.0 / max(1, state_hits.get(fp, 1))
+    for fp in entry.coverage.edges:
+        rarity += 1.0 / max(1, edge_hits.get(fp, 1))
+    size = max(1, len(entry.coverage))
+    energy = rarity / size
+    if entry.divergences:
+        energy *= 2.0
+    if bug_anchors and entry.coverage.states & bug_anchors:
+        energy *= 2.0
+    return max(energy, 1e-9)
+
+
+def pick_entry(entries: Sequence[CorpusEntry], state_hits: Dict[int, int],
+               edge_hits: Dict[int, int], bug_anchors: Set[int],
+               rng: random.Random) -> Optional[CorpusEntry]:
+    """Roulette-wheel pick over entry energies; None on an empty corpus."""
+    if not entries:
+        return None
+    energies = [entry_energy(entry, state_hits, edge_hits, bug_anchors)
+                for entry in entries]
+    total = sum(energies)
+    roll = rng.random() * total
+    for entry, energy in zip(entries, energies):
+        roll -= energy
+        if roll < 0:
+            return entry
+    return entries[-1]  # float edge: roll == total

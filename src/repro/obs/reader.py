@@ -257,6 +257,26 @@ class TraceReader:
                      f"({fields.get('action', '?')!r})")
         return line
 
+    @staticmethod
+    def _coverage_line(coverage: Dict[str, Any]) -> str:
+        states_total = coverage.get("graph_states")
+        edges_total = coverage.get("graph_edges")
+        of_states = f" of {states_total}" if states_total is not None else ""
+        of_edges = f" of {edges_total}" if edges_total is not None else ""
+        return (f"coverage: {coverage['states']}{of_states} states, "
+                f"{coverage['edges']}{of_edges} edges visited")
+
+    @staticmethod
+    def _fuzz_line(fields: Dict[str, Any]) -> str:
+        arm = "guided" if fields.get("guided", True) else "unguided"
+        return (f"fuzz: {fields.get('runs', '?')} runs ({arm}), "
+                f"{fields.get('entries', '?')} corpus entries, "
+                f"{fields.get('states', '?')} of "
+                f"{fields.get('graph_states', '?')} states, "
+                f"{fields.get('edges', '?')} of "
+                f"{fields.get('graph_edges', '?')} edges, "
+                f"{fields.get('bugs', '?')} bug(s)")
+
     def shrink_summary(self) -> Optional[str]:
         """One-line digest of a shrink run recorded in this trace.
 
@@ -289,7 +309,10 @@ class TraceReader:
         records = 0
         start = end = None
         counts: Dict[str, int] = {}
-        shrink_fields = conform_fields = None
+        shrink_fields = conform_fields = fuzz_fields = None
+        graph_states = graph_edges = None
+        state_fps: set = set()
+        edge_fps: set = set()
         timelines: Dict[int, CaseTimeline] = {}
         keep: Optional[set] = set() if max_cases is not None else None
         for event in self.iter_events():
@@ -302,6 +325,18 @@ class TraceReader:
                 shrink_fields = event.fields
             elif event.name == "conform.done":
                 conform_fields = event.fields
+            elif event.name == "fuzz.done":
+                fuzz_fields = event.fields
+            elif event.name == "runner.suite":
+                if event.fields.get("graph_states") is not None:
+                    graph_states = event.fields["graph_states"]
+                    graph_edges = event.fields.get("graph_edges")
+            if event.name == "runner.step":
+                fields = event.fields
+                if "edge_fp" in fields:
+                    state_fps.add(fields["src_fp"])
+                    state_fps.add(fields["dst_fp"])
+                    edge_fps.add(fields["edge_fp"])
             if keep is not None and event.name in (
                     "runner.step", "fault.inject", "fault.heal",
                     "runner.case"):
@@ -312,6 +347,14 @@ class TraceReader:
             _apply(timelines, event, keep)
         for timeline in timelines.values():
             timeline.steps.sort(key=lambda step: (step.index, step.ts))
+        coverage = None
+        if state_fps or edge_fps:
+            coverage = {
+                "states": len(state_fps),
+                "edges": len(edge_fps),
+                "graph_states": graph_states,
+                "graph_edges": graph_edges,
+            }
         return {
             "records": records,
             "duration": 0.0 if start is None else end - start,
@@ -321,6 +364,8 @@ class TraceReader:
                       else min(max_cases, len(timelines))),
             "shrink": shrink_fields,
             "conform": conform_fields,
+            "coverage": coverage,
+            "fuzz": fuzz_fields,
         }
 
     def summary_dict(self, max_cases: Optional[int] = None) -> Dict[str, Any]:
@@ -356,6 +401,9 @@ class TraceReader:
             "shrink": (self._shrink_line(scan["shrink"])
                        if scan["shrink"] else None),
             "conformance": dict(scan["conform"]) if scan["conform"] else None,
+            "coverage": (dict(scan["coverage"])
+                         if scan["coverage"] else None),
+            "fuzz": dict(scan["fuzz"]) if scan["fuzz"] else None,
         }
 
     # -- human output ---------------------------------------------------------
@@ -378,6 +426,10 @@ class TraceReader:
             lines.append(self._shrink_line(scan["shrink"]))
         if scan["conform"]:
             lines.append(self._conform_line(scan["conform"]))
+        if scan["coverage"]:
+            lines.append(self._coverage_line(scan["coverage"]))
+        if scan["fuzz"]:
+            lines.append(self._fuzz_line(scan["fuzz"]))
         timelines = scan["timelines"]
         if timelines:
             divergent = sum(1 for t in timelines.values() if not t.passed)

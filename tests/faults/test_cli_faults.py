@@ -41,6 +41,9 @@ class TestFaultsRunAndReplay:
         out = capsys.readouterr().out
         assert "fault plan:" in out
         assert "0 unattributed" in out
+        # the visited-fingerprint digest that lets a chaos run's results
+        # seed a fuzz corpus
+        assert "coverage:" in out and "edges visited" in out
 
     def test_replay_reuses_a_saved_plan(self, tmp_path, capsys):
         out = tmp_path / "plan.json"

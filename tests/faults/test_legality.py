@@ -1,0 +1,225 @@
+"""Static plan legality (`plan_violations`): every planner output must
+pass, and each documented k-budget rule must be detected when broken."""
+
+import pytest
+
+from repro.core import generate_test_cases
+from repro.engine import canonicalize
+from repro.faults import (
+    FaultInjection,
+    FaultPlan,
+    InjectionMode,
+    plan_faults,
+    plan_is_legal,
+    plan_violations,
+)
+from repro.specs.raft import RaftSpecOptions, build_raft_spec
+from repro.systems.pyxraft import XraftConfig, build_xraft_mapping
+from repro.tlaplus import check
+
+NODE_IDS = ["n1", "n2", "n3"]
+
+
+@pytest.fixture(scope="module")
+def kit():
+    spec = build_raft_spec(RaftSpecOptions(
+        servers=tuple(NODE_IDS), max_term=1, max_client_requests=0,
+        enable_restart=True, max_restarts=1,
+        enable_drop=True, max_drops=1,
+        enable_duplicate=True, max_duplicates=1,
+        candidates=("n1",), name="legality-guard",
+    ))
+    mapping = build_xraft_mapping(spec, XraftConfig())
+    graph = canonicalize(check(spec, max_states=50_000,
+                               truncate=True).graph)
+    suite = generate_test_cases(graph, por=True, seed=0)
+    return mapping, graph, suite
+
+
+def first_chaos(plan, mode=InjectionMode.CHAOS):
+    return next(i for i, injection in enumerate(plan.injections)
+                if injection.mode is mode)
+
+
+def replace(plan, position, injection):
+    injections = list(plan.injections)
+    injections[position] = injection
+    return plan.subset(injections)
+
+
+class TestPlannerOutputIsLegal:
+    @pytest.mark.parametrize("seed", ["0", "1", "2", "7"])
+    @pytest.mark.parametrize("chaos", [False, True])
+    def test_every_planned_schedule_passes(self, kit, seed, chaos):
+        mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, seed, NODE_IDS,
+                           chaos=chaos)
+        assert plan_violations(plan, suite, graph=graph,
+                               node_ids=NODE_IDS) == []
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_budget_plans_respect_their_own_k(self, kit, k):
+        mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, "3", NODE_IDS,
+                           chaos=True, max_faults_per_case=k)
+        assert plan_is_legal(plan, suite, graph=graph, node_ids=NODE_IDS,
+                             max_faults_per_case=k)
+
+    def test_empty_plan_is_legal(self, kit):
+        _mapping, graph, suite = kit
+        plan = FaultPlan("0", [])
+        assert plan_is_legal(plan, suite, graph=graph, node_ids=NODE_IDS)
+
+
+class TestChaosViolations:
+    def chaos_case(self, suite):
+        return next(case for case in suite if len(case.steps) >= 2)
+
+    def test_unknown_case_is_flagged(self, kit):
+        _mapping, _graph, suite = kit
+        plan = FaultPlan("0", [FaultInjection(
+            InjectionMode.CHAOS, "partition", 10_000, 1,
+            params={"isolate": "n1"})])
+        assert any("unknown case" in p
+                   for p in plan_violations(plan, suite))
+
+    def test_step_out_of_planner_range_is_flagged(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        # transparent kinds stop at len-1; len is only legal when disruptive
+        plan = FaultPlan("0", [FaultInjection(
+            InjectionMode.CHAOS, "partition", case.case_id,
+            len(case.steps), params={"isolate": "n1"})])
+        assert any("outside [1," in p for p in plan_violations(plan, suite))
+        bounce = FaultPlan("0", [FaultInjection(
+            InjectionMode.CHAOS, "bounce", case.case_id, len(case.steps),
+            params={"node": "n1"})])
+        assert plan_violations(bounce, suite, node_ids=NODE_IDS) == []
+
+    def test_two_disruptive_in_one_case_is_flagged(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        plan = FaultPlan("0", [
+            FaultInjection(InjectionMode.CHAOS, "bounce", case.case_id, 1,
+                           params={"node": "n1"}),
+            FaultInjection(InjectionMode.CHAOS, "crash", case.case_id, 2,
+                           params={"node": "n2"}),
+        ])
+        assert any("disruptive" in p for p in plan_violations(plan, suite))
+
+    def test_two_partition_family_in_one_case_is_flagged(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        plan = FaultPlan("0", [
+            FaultInjection(InjectionMode.CHAOS, "partition", case.case_id,
+                           1, params={"isolate": "n1"}),
+            FaultInjection(InjectionMode.CHAOS, "partial_partition",
+                           case.case_id, 1,
+                           params={"group": ["n1", "n2"]}),
+        ])
+        assert any("partition-family" in p
+                   for p in plan_violations(plan, suite))
+
+    def test_chaos_k_budget_is_enforced(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        plan = FaultPlan("0", [
+            FaultInjection(InjectionMode.CHAOS, "reorder", case.case_id, 1,
+                           params={"node": "n1"}),
+            FaultInjection(InjectionMode.CHAOS, "reorder", case.case_id, 1,
+                           params={"node": "n2"}),
+        ])
+        assert plan_is_legal(plan, suite, node_ids=NODE_IDS)
+        assert any("k-budget" in p
+                   for p in plan_violations(plan, suite, node_ids=NODE_IDS,
+                                            max_faults_per_case=1))
+
+    def test_parameter_checks_need_node_ids(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        plan = FaultPlan("0", [FaultInjection(
+            InjectionMode.CHAOS, "partition", case.case_id, 1,
+            params={"isolate": "nope"})])
+        assert plan_is_legal(plan, suite)  # structural pass
+        assert any("not a cluster node" in p
+                   for p in plan_violations(plan, suite,
+                                            node_ids=NODE_IDS))
+
+    def test_missing_required_param_is_flagged(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        plan = FaultPlan("0", [FaultInjection(
+            InjectionMode.CHAOS, "delay", case.case_id, 1,
+            params={"src": "n1", "dst": "n2"})])
+        assert any("missing parameter 'count'" in p
+                   for p in plan_violations(plan, suite))
+
+    def test_group_must_leave_a_node_outside(self, kit):
+        _mapping, _graph, suite = kit
+        case = self.chaos_case(suite)
+        plan = FaultPlan("0", [FaultInjection(
+            InjectionMode.CHAOS, "partial_partition", case.case_id, 1,
+            params={"group": list(NODE_IDS)})])
+        assert any("outside the partition" in p
+                   for p in plan_violations(plan, suite,
+                                            node_ids=NODE_IDS))
+
+
+class TestModeledViolations:
+    def modeled_plan(self, kit, seed="1"):
+        mapping, graph, suite = kit
+        plan = plan_faults(graph, suite, mapping, seed, NODE_IDS)
+        assert plan.modeled(), "guard spec must yield modeled splices"
+        return plan
+
+    def test_wrong_source_state_is_flagged(self, kit):
+        mapping, graph, suite = kit
+        plan = self.modeled_plan(kit)
+        position = first_chaos(plan, InjectionMode.MODELED)
+        injection = plan.injections[position]
+        base = next(c for c in suite if c.case_id == injection.case_id)
+        source_ids = [s.src_id for s in base.steps] + [base.final_id]
+        bad_pos = next((pos for pos, sid in enumerate(source_ids)
+                        if sid >= 0 and sid != injection.edge.src), None)
+        if bad_pos is None:
+            pytest.skip("base path never leaves the splice source")
+        moved = FaultInjection(
+            injection.mode, injection.kind, injection.case_id, bad_pos,
+            derived_case_id=injection.derived_case_id,
+            edge=injection.edge, tail=injection.tail)
+        broken = replace(plan, position, moved)
+        assert any("base path is at" in p
+                   for p in plan_violations(broken, suite, graph=graph))
+
+    def test_derived_id_collision_is_flagged(self, kit):
+        mapping, graph, suite = kit
+        plan = self.modeled_plan(kit)
+        position = first_chaos(plan, InjectionMode.MODELED)
+        injection = plan.injections[position]
+        clashing = FaultInjection(
+            injection.mode, injection.kind, injection.case_id,
+            injection.step_index, derived_case_id=suite.cases[0].case_id,
+            edge=injection.edge, tail=injection.tail)
+        broken = replace(plan, position, clashing)
+        assert any("collides" in p
+                   for p in plan_violations(broken, suite, graph=graph))
+
+    def test_noncontiguous_tail_is_flagged(self, kit):
+        mapping, graph, suite = kit
+        plan = self.modeled_plan(kit)
+        position = next(
+            (i for i, injection in enumerate(plan.injections)
+             if injection.mode is InjectionMode.MODELED
+             and len(injection.tail) >= 2), None)
+        if position is None:
+            pytest.skip("no splice with a 2-edge tail under this seed")
+        injection = plan.injections[position]
+        scrambled = FaultInjection(
+            injection.mode, injection.kind, injection.case_id,
+            injection.step_index,
+            derived_case_id=injection.derived_case_id,
+            edge=injection.edge,
+            tail=list(reversed(injection.tail)))
+        broken = replace(plan, position, scrambled)
+        assert any("not contiguous" in p
+                   for p in plan_violations(broken, suite, graph=graph))

@@ -1,0 +1,85 @@
+"""Determinism guard: a `mocket fuzz` corpus must be byte-identical
+for any ``--workers`` count and any ``PYTHONHASHSEED``.
+
+Corpora are exchangeable artifacts (CI caches them, campaigns resume
+them), so the acceptance bar is the same as for fault plans and
+canonical graphs: the corpus index, every kept plan file, and the JSON
+report must not move when the interpreter's hash seed or the runner's
+parallelism does.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def run_fuzz(corpus_dir, hashseed, workers):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "fuzz", "toycache",
+         "--budget", "3", "--cases", "2", "--fuzz-seed", "5",
+         "--corpus", str(corpus_dir), "--workers", str(workers),
+         "--format", "json"],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def corpus_bytes(corpus_dir):
+    """{relative path: bytes} for every file in the corpus."""
+    snapshot = {}
+    for root, _dirs, files in os.walk(corpus_dir):
+        for name in sorted(files):
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, corpus_dir)
+            snapshot[rel] = open(path, "rb").read()
+    return snapshot
+
+
+@pytest.mark.slow
+class TestFuzzDeterminism:
+    def test_corpus_bytes_identical_across_seeds_and_workers(
+            self, tmp_path):
+        corpora = {}
+        reports = {}
+        for hashseed in (0, 42):
+            for workers in (1, 4):
+                corpus_dir = tmp_path / f"corpus-{hashseed}-{workers}"
+                reports[(hashseed, workers)] = run_fuzz(
+                    corpus_dir, hashseed, workers)
+                corpora[(hashseed, workers)] = corpus_bytes(corpus_dir)
+        baseline = corpora[(0, 1)]
+        assert baseline, "campaign must persist a corpus"
+        assert "corpus.json" in baseline
+        for key, snapshot in corpora.items():
+            assert snapshot == baseline, (
+                f"corpus bytes differ at PYTHONHASHSEED={key[0]} "
+                f"--workers={key[1]}")
+        assert len(set(reports.values())) == 1, (
+            "fuzz JSON report differs across PYTHONHASHSEED/--workers")
+
+    def test_resume_equals_one_shot(self, tmp_path):
+        """Budget 3 in one campaign == budget 1 then budget 2."""
+        one_shot = tmp_path / "one-shot"
+        run_fuzz(one_shot, 0, 1)
+
+        split = tmp_path / "split"
+        env = dict(os.environ, PYTHONHASHSEED="0", PYTHONPATH=SRC)
+        for budget in ("1", "2"):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "fuzz", "toycache",
+                 "--budget", budget, "--cases", "2", "--fuzz-seed", "5",
+                 "--corpus", str(split)],
+                capture_output=True, text=True, env=env, timeout=300)
+            assert proc.returncode == 0, proc.stderr
+        assert corpus_bytes(split) == corpus_bytes(one_shot)
+        index = json.loads((split / "corpus.json").read_text())
+        assert index["runs"] == 3

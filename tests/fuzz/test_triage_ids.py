@@ -1,0 +1,99 @@
+"""Stable graph-anchored divergence ids: independent of case numbering,
+anchored to the last verified state, rendered only for unattributed
+failures."""
+
+from repro.core.testbed.report import (
+    Divergence,
+    DivergenceKind,
+    SuiteResult,
+    TestCaseResult,
+)
+from repro.core.testgen.testcase import TestCase
+from repro.engine.fingerprint import fingerprint_state
+from repro.faults import FaultPlan, divergence_id
+from repro.faults.triage import render_triage, triage
+
+
+def case_of(suite, minimum_steps=2):
+    return next(c for c in suite if len(c.steps) >= minimum_steps)
+
+
+def diverge(kind=DivergenceKind.INCONSISTENT_STATE, step=1, action="get"):
+    return Divergence(kind, step, action=action)
+
+
+class TestDivergenceId:
+    def test_id_ignores_case_numbering(self, toykit):
+        _mapping, _factory, _graph, suite = toykit
+        case = case_of(suite)
+        renumbered = TestCase(case.case_id + 500, case.initial_state,
+                              case.steps, case.initial_id)
+        divergence = diverge()
+        assert (divergence_id(case, divergence)
+                == divergence_id(renumbered, divergence))
+
+    def test_id_shape_is_dv_hex16(self, toykit):
+        _mapping, _factory, _graph, suite = toykit
+        stable_id, anchor = divergence_id(case_of(suite), diverge())
+        assert stable_id.startswith("dv-")
+        assert len(stable_id) == 3 + 16
+        int(stable_id[3:], 16)  # must be hex
+        assert isinstance(anchor, int)
+
+    def test_anchor_is_last_verified_state(self, toykit):
+        _mapping, _factory, _graph, suite = toykit
+        case = case_of(suite)
+        _, at_start = divergence_id(case, diverge(step=-1))
+        assert at_start == fingerprint_state(case.initial_state)
+        _, beyond_end = divergence_id(
+            case, diverge(step=len(case.steps) + 3))
+        assert beyond_end == fingerprint_state(case.final_state)
+        _, mid = divergence_id(case, diverge(step=1))
+        assert mid == fingerprint_state(case.steps[0].expected_state)
+
+    def test_kind_action_and_anchor_all_separate_ids(self, toykit):
+        _mapping, _factory, _graph, suite = toykit
+        case = case_of(suite)
+        base = divergence_id(case, diverge())[0]
+        other_kind = divergence_id(
+            case, diverge(kind=DivergenceKind.STALLED))[0]
+        other_action = divergence_id(case, diverge(action="set"))[0]
+        assert len({base, other_kind, other_action}) == 3
+
+
+class TestTriagePayloadIds:
+    def outcome_with_failure(self, suite):
+        case = case_of(suite)
+        failing = TestCaseResult(case, diverge(), 1, 0.1)
+        return SuiteResult([failing], 0.1), case
+
+    def test_unattributed_failures_carry_ids(self, toykit):
+        _mapping, _factory, _graph, suite = toykit
+        outcome, case = self.outcome_with_failure(suite)
+        payload = triage(outcome, FaultPlan("0", []))
+        failure = payload["failures"][0]
+        assert failure["verdict"] == "unattributed"
+        assert failure["id"] == divergence_id(case, diverge())[0]
+
+    def test_render_shows_id_only_when_unattributed(self, toykit):
+        _mapping, _factory, _graph, suite = toykit
+        outcome, case = self.outcome_with_failure(suite)
+        payload = triage(outcome, FaultPlan("0", []))
+        assert "id: dv-" in render_triage(payload)
+        attributed = dict(payload)
+        attributed["failures"] = [
+            dict(payload["failures"][0], verdict="fault-induced",
+                 attributed_to=["chaos partition"])]
+        attributed["unattributed"] = 0
+        assert "id: dv-" not in render_triage(attributed)
+
+    def test_graph_argument_adds_a_coverage_block(self, toykit):
+        _mapping, _factory, graph, suite = toykit
+        outcome, _case = self.outcome_with_failure(suite)
+        payload = triage(outcome, FaultPlan("0", []), graph=graph)
+        coverage = payload["coverage"]
+        assert coverage["graph_states"] == graph.num_states
+        assert coverage["graph_edges"] == graph.num_edges
+        assert 0 < len(coverage["states"]) <= graph.num_states
+        rendered = render_triage(payload)
+        assert "coverage:" in rendered and "edges visited" in rendered
