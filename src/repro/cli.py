@@ -20,6 +20,14 @@ Subcommands mirror the pipeline stages:
   ``--corpus DIR``, and breed the next schedule from an energy-picked
   corpus entry (``--unguided`` for the feedback-free control arm,
   ``--format json`` for the stable v1 envelope; see docs/FUZZING.md),
+* ``mocket soak TARGET``   — soak-scale workload on the deterministic
+  simulation runtime: ``--ops N`` open-loop client operations over
+  seeded simulation shards (virtual clock, one event loop per shard),
+  optional seeded fault schedule (``--faults``), periodic triage
+  snapshots and invariant monitoring; reports are byte-identical for
+  any ``--workers`` and any ``PYTHONHASHSEED``, and a failing run
+  replays exactly from ``(seed, schedule)`` (``--schedule-out`` /
+  ``--schedule``; see docs/RUNTIME.md),
 * ``mocket bugs``          — replay all nine Table 2 bug scenarios,
 * ``mocket lint TARGET``   — static conformance analysis of a bundled
   system (spec + mapping + instrumented source) or bare spec; rule
@@ -541,6 +549,70 @@ def _cmd_fuzz(args) -> int:
     return _with_obs(args, command)
 
 
+def _cmd_soak(args) -> int:
+    import json
+
+    from .soak import SoakConfig, build_report, render_text, run_soak
+    from .soak.nemesis import SCHEDULE_FORMAT
+
+    def command() -> int:
+        schedule = None
+        if args.schedule:
+            try:
+                with open(args.schedule, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"soak: cannot read schedule {args.schedule}: {exc}",
+                      file=sys.stderr)
+                return 2
+            if doc.get("format") != SCHEDULE_FORMAT:
+                print(f"soak: {args.schedule} is not a "
+                      f"{SCHEDULE_FORMAT} file", file=sys.stderr)
+                return 2
+            schedule = doc["events"]
+            schedule_faults = bool(doc.get("faults", any(schedule)))
+        try:
+            config = SoakConfig(
+                target=args.target,
+                ops=args.ops,
+                seed=str(args.soak_seed),
+                shards=len(schedule) if schedule is not None else args.shards,
+                workers=args.workers,
+                rate=args.rate,
+                faults=schedule_faults if schedule is not None
+                else args.faults,
+                bug=args.bug,
+                snapshot_every=args.snapshot_every,
+                schedule=schedule,
+            )
+        except ValueError as exc:
+            print(f"soak: {exc}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        shard_reports = run_soak(config)
+        wall = time.perf_counter() - start
+        report = build_report(config, shard_reports)
+        if args.schedule_out:
+            doc = {"format": SCHEDULE_FORMAT, "seed": config.seed,
+                   "shards": config.shards, "faults": config.faults,
+                   "events": [s["fault_schedule"] for s in shard_reports]}
+            with open(args.schedule_out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if args.format == "json":
+            # The canonical artifact: pure (seed, schedule) quantities,
+            # no wall-clock readings — byte-identical across workers
+            # and hash seeds (the determinism guard diffs exactly this).
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_text(report, wall_seconds=wall))
+            if args.schedule_out:
+                print(f"fault schedule written to {args.schedule_out}")
+        return 1 if report["totals"]["divergences"] else 0
+
+    return _with_obs(args, command)
+
+
 def _cmd_lint(args) -> int:
     from .analysis import Severity, lint_target, render_json, render_text
     from .analysis.targets import all_targets
@@ -905,6 +977,51 @@ def main(argv: Optional[list] = None) -> int:
     add_engine_flags(p_fuzz)
     add_obs_flags(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="soak-scale workload on the deterministic simulation "
+             "runtime (see docs/RUNTIME.md)")
+    p_soak.add_argument("target", help="system to soak (raftkv)")
+    p_soak.add_argument("--ops", type=int, default=100_000, metavar="N",
+                        help="total open-loop client operations across "
+                             "all shards (default: 100000)")
+    p_soak.add_argument("--soak-seed", default="0", metavar="SEED",
+                        help="run seed: same (seed, schedule) => "
+                             "byte-identical report, independent of "
+                             "--workers and PYTHONHASHSEED (default: 0)")
+    p_soak.add_argument("--shards", type=int, default=4, metavar="N",
+                        help="fixed number of independent simulation "
+                             "shards; part of the run's identity, unlike "
+                             "--workers (default: 4)")
+    p_soak.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="OS processes executing shards concurrently; "
+                             "never changes a byte of output (default: 1)")
+    p_soak.add_argument("--rate", type=float, default=200.0, metavar="OPS",
+                        help="open-loop client rate per shard, in "
+                             "simulated ops/second (default: 200)")
+    p_soak.add_argument("--faults", action="store_true",
+                        help="derive and inject a seeded virtual-time "
+                             "fault schedule (partitions, crashes, link "
+                             "delays)")
+    p_soak.add_argument("--bug", choices=("bug_skip_apply",), default=None,
+                        help="enable a seeded soak bug in the simulated "
+                             "system under test")
+    p_soak.add_argument("--snapshot-every", type=float, default=25.0,
+                        metavar="SIMSECS",
+                        help="triage snapshot cadence in simulated "
+                             "seconds (default: 25)")
+    p_soak.add_argument("--schedule", metavar="FILE",
+                        help="replay a saved fault schedule verbatim "
+                             "instead of deriving one from the seed")
+    p_soak.add_argument("--schedule-out", metavar="FILE",
+                        help="write this run's fault schedule for exact "
+                             "replay")
+    p_soak.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="json prints the canonical v1 soak report")
+    add_obs_flags(p_soak)
+    p_soak.set_defaults(func=_cmd_soak)
 
     p_bugs = sub.add_parser("bugs", help="replay all Table 2 bug scenarios")
     p_bugs.set_defaults(func=_cmd_bugs)

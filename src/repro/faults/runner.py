@@ -27,7 +27,6 @@ deterministic for any worker count.
 from __future__ import annotations
 
 import random
-import time
 from typing import Callable, List, Optional
 
 from ..core.mapping.kinds import FaultKind, TriggerKind
@@ -35,6 +34,7 @@ from ..core.mapping.registry import SpecMapping
 from ..core.testbed.report import Divergence, DivergenceKind, TestCaseResult
 from ..core.testbed.runner import ControlledTester, RunnerConfig
 from ..core.testgen.testcase import TestCase, TestStep
+from ..runtime.clock import Clock, WALL_CLOCK
 from ..runtime.cluster import Cluster
 from ..tlaplus.graph import StateGraph
 from .nemesis import Nemesis
@@ -48,11 +48,15 @@ class FaultConfig:
 
     def __init__(self, retries: int = 2, backoff: float = 0.25,
                  convergence_timeout: float = 2.0, poll: float = 0.1,
-                 jitter: float = 0.0):
+                 jitter: float = 0.0, clock: Optional[Clock] = None):
         self.retries = retries                        # re-waits after heal
         self.backoff = backoff                        # seconds, linear per attempt
         self.convergence_timeout = convergence_timeout
         self.poll = poll                              # convergence re-check period
+        # all backoff and convergence waits go through this clock; a
+        # :class:`~repro.runtime.sim.VirtualClock` turns them into
+        # simulated-time advances so replays pay no real backoff time
+        self.clock = clock if clock is not None else WALL_CLOCK
         # optional extra sleep, up to ``jitter`` seconds per retry.  The
         # amount is drawn from a plan-seeded per-case stream (never the
         # process-global ``random``), so ``faults replay`` and the
@@ -133,7 +137,7 @@ class FaultRunner(ControlledTester):
             pause = self.faults.backoff * attempt
             if self.faults.jitter:
                 pause += self._backoff_rng.random() * self.faults.jitter
-            time.sleep(pause)
+            self.faults.clock.sleep(pause)
             if action.trigger is TriggerKind.FAULT:
                 retried = self._run_fault(index, step, runtime, cluster,
                                           action)
@@ -175,7 +179,8 @@ class FaultRunner(ControlledTester):
         or the convergence window closes."""
         mismatches = checker.converged(case.final_state,
                                        self.faults.convergence_timeout,
-                                       poll=self.faults.poll)
+                                       poll=self.faults.poll,
+                                       clock=self.faults.clock)
         if not mismatches:
             return None
         return Divergence(

@@ -267,6 +267,17 @@ class TraceReader:
                 f"{coverage['edges']}{of_edges} edges visited")
 
     @staticmethod
+    def _soak_line(fields: Dict[str, Any]) -> str:
+        div = fields.get("divergences") or {}
+        kinds = (", ".join(f"{k}={v}" for k, v in sorted(div.items()))
+                 if div else "none")
+        return (f"soak: {fields.get('acked', '?')} of "
+                f"{fields.get('submitted', '?')} ops acked over "
+                f"{fields.get('sim_time', '?')}s simulated "
+                f"({fields.get('shards', '?')} shard(s), "
+                f"seed {fields.get('seed', '?')!r}); divergences: {kinds}")
+
+    @staticmethod
     def _fuzz_line(fields: Dict[str, Any]) -> str:
         arm = "guided" if fields.get("guided", True) else "unguided"
         return (f"fuzz: {fields.get('runs', '?')} runs ({arm}), "
@@ -310,6 +321,7 @@ class TraceReader:
         start = end = None
         counts: Dict[str, int] = {}
         shrink_fields = conform_fields = fuzz_fields = None
+        soak_fields = None
         graph_states = graph_edges = None
         state_fps: set = set()
         edge_fps: set = set()
@@ -327,6 +339,8 @@ class TraceReader:
                 conform_fields = event.fields
             elif event.name == "fuzz.done":
                 fuzz_fields = event.fields
+            elif event.name == "soak.done":
+                soak_fields = event.fields
             elif event.name == "runner.suite":
                 if event.fields.get("graph_states") is not None:
                     graph_states = event.fields["graph_states"]
@@ -366,6 +380,7 @@ class TraceReader:
             "conform": conform_fields,
             "coverage": coverage,
             "fuzz": fuzz_fields,
+            "soak": soak_fields,
         }
 
     def summary_dict(self, max_cases: Optional[int] = None) -> Dict[str, Any]:
@@ -404,6 +419,7 @@ class TraceReader:
             "coverage": (dict(scan["coverage"])
                          if scan["coverage"] else None),
             "fuzz": dict(scan["fuzz"]) if scan["fuzz"] else None,
+            "soak": dict(scan["soak"]) if scan["soak"] else None,
         }
 
     # -- human output ---------------------------------------------------------
@@ -430,6 +446,8 @@ class TraceReader:
             lines.append(self._coverage_line(scan["coverage"]))
         if scan["fuzz"]:
             lines.append(self._fuzz_line(scan["fuzz"]))
+        if scan["soak"]:
+            lines.append(self._soak_line(scan["soak"]))
         timelines = scan["timelines"]
         if timelines:
             divergent = sum(1 for t in timelines.values() if not t.passed)

@@ -19,7 +19,8 @@ Event names in use across the pipeline (see docs/OBSERVABILITY.md):
 ``testgen.traversal`` ``testgen.case_emitted`` ``por.reduce``
 ``por.pruned`` ``scheduler.notification`` ``runner.suite``
 ``runner.case`` ``runner.step`` ``statecheck.compare``
-``fault.injected`` ``runner.divergence``
+``fault.injected`` ``runner.divergence`` ``soak.run`` ``soak.snapshot``
+``soak.shard`` ``soak.divergence`` ``soak.done``
 """
 
 from __future__ import annotations
@@ -176,8 +177,19 @@ class Tracer:
         self._last_ts = 0.0
         self._sink = None              # open file object, or None
         self._sink_path: Optional[str] = None
+        self._sim_clock = None         # VirtualClock during simulated runs
 
     # -- configuration --------------------------------------------------------
+    def set_sim_clock(self, clock: Optional[Any]) -> None:
+        """Stamp records with simulated time while ``clock`` is set.
+
+        The simulation harness (:mod:`repro.runtime.sim`) installs its
+        :class:`VirtualClock` here for the duration of an in-process
+        run; every record then carries a ``sim`` field alongside the
+        wall ``ts``, so a trace can be read on either timeline.  Pass
+        ``None`` to detach.
+        """
+        self._sim_clock = clock
     def configure(self, enabled: bool = True, sink: Optional[str] = None,
                   capacity: Optional[int] = None) -> None:
         """Enable (or re-arm) tracing; ``sink`` is a JSONL file path."""
@@ -214,6 +226,7 @@ class Tracer:
             self._emitted = 0
             self._epoch = time.monotonic()
             self._last_ts = 0.0
+            self._sim_clock = None
 
     def _close_sink_locked(self) -> None:
         if self._sink is not None:
@@ -255,6 +268,9 @@ class Tracer:
             if now <= self._last_ts:
                 now = self._last_ts + 1e-9
             self._last_ts = now
+            if self._sim_clock is not None and "sim" not in fields:
+                fields = dict(fields)
+                fields["sim"] = round(self._sim_clock.now(), 9)
             event = TraceEvent(self._seq, now, kind, name, dur, fields)
             self._seq += 1
             self._emitted += 1

@@ -1,11 +1,21 @@
-"""Pseudo-distributed cluster substrate: nodes, network, storage, faults."""
+"""Pseudo-distributed cluster substrate: nodes, network, storage, faults.
 
+Two execution modes share this package: the original **threaded** path
+(real threads, real time — what the controlled testbed drives) and the
+**deterministic simulation** path under :mod:`repro.runtime.sim`
+(virtual clock, one seeded event loop, zero threads — what ``mocket
+soak`` drives).  The :class:`Clock` seam in :mod:`repro.runtime.clock`
+is what lets the same waiting code run on either.
+"""
+
+from .clock import Clock, WallClock, WALL_CLOCK
 from .cluster import Cluster
 from .network import Envelope, Network, RpcError
 from .node import Node, NodeCrashed
 from .storage import PersistentStore, StorageBackend
 
 __all__ = [
+    "Clock",
     "Cluster",
     "Envelope",
     "Network",
@@ -14,4 +24,6 @@ __all__ = [
     "PersistentStore",
     "RpcError",
     "StorageBackend",
+    "WALL_CLOCK",
+    "WallClock",
 ]

@@ -1,0 +1,52 @@
+"""Clock abstraction: the seam between wall time and simulated time.
+
+Every runtime component that waits — fault-runner backoff, convergence
+polling, retry pauses — takes a :class:`Clock` instead of calling
+``time.sleep`` directly.  The default :data:`WALL_CLOCK` preserves the
+threaded runtime's behaviour exactly; a
+:class:`repro.runtime.sim.VirtualClock` substitutes simulated time so
+the same code runs under the deterministic simulation harness without
+ever touching the wall clock (see ``docs/RUNTIME.md``).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "WALL_CLOCK"]
+
+
+class Clock:
+    """Minimal clock interface: a monotonic ``now`` and a ``sleep``.
+
+    ``now()`` returns seconds on a monotonic axis whose origin is
+    unspecified (only differences are meaningful, like
+    ``time.monotonic``).  ``sleep(dt)`` blocks the caller for ``dt``
+    seconds *of this clock's time* — wall seconds for
+    :class:`WallClock`, simulated seconds (instantaneous in wall time)
+    for a virtual clock.
+    """
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, dt: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, dt: float) -> None:
+        if dt > 0:
+            time.sleep(dt)
+
+    def __repr__(self) -> str:
+        return "WallClock()"
+
+
+#: Shared default instance; stateless, safe to share across clusters.
+WALL_CLOCK = WallClock()

@@ -43,6 +43,12 @@ disturbances, all released by the same :meth:`heal`:
   modeling a corrupted frame the receiver's checksum rejects.  Unlike
   the holds above this *loses* the message, so it is a disruptive
   fault.
+
+Under the deterministic simulation harness the same fault semantics
+apply, but delivery itself becomes a virtual-time event on the seeded
+scheduler: see :class:`repro.runtime.sim.SimNetwork`, which subclasses
+this fabric and reuses :meth:`_route` so partitions, cuts and delays
+behave identically on both paths (``docs/RUNTIME.md``).
 """
 
 from __future__ import annotations
@@ -117,6 +123,28 @@ class Network:
             return self._up.get(node_id, False)
 
     # -- asynchronous delivery --------------------------------------------------
+    def _route(self, envelope: Envelope):
+        """Classify an outgoing envelope under the active fault set.
+
+        Caller must hold ``self._lock``.  Returns a triple
+        ``(disposition, inbox, up)`` where disposition is ``"dead"``
+        (unknown destination, dead-lettered), ``"held"`` (captured by a
+        partition/cut/delay, released by :meth:`heal`) or ``"deliver"``.
+        Shared with :class:`repro.runtime.sim.SimNetwork`, which applies
+        the same fault semantics but schedules delivery as a virtual-time
+        event instead of an immediate mailbox put.
+        """
+        self.sent_count += 1
+        inbox = self._inboxes.get(envelope.dst)
+        if inbox is None:
+            self.dead_letters.append(envelope)
+            return "dead", None, False
+        if self._holds(envelope.src, envelope.dst):
+            self._held.append(envelope)
+            self.held_count += 1
+            return "held", inbox, True  # held, not lost: delivered on heal()
+        return "deliver", inbox, self._up.get(envelope.dst, False)
+
     def send(self, src: str, dst: str, payload: Any) -> bool:
         """Deliver ``payload`` into ``dst``'s mailbox.
 
@@ -126,18 +154,11 @@ class Network:
         """
         envelope = Envelope(src, dst, payload)
         with self._lock:
-            self.sent_count += 1
-            inbox = self._inboxes.get(dst)
-            if inbox is None:
-                self.dead_letters.append(envelope)
-                return False
-            if self._holds(src, dst):
-                self._held.append(envelope)
-                self.held_count += 1
-                return True  # held, not lost: delivered on heal()
-            up = self._up.get(dst, False)
-        inbox.put(envelope)
-        return up
+            disposition, inbox, up = self._route(envelope)
+        if disposition == "deliver":
+            inbox.put(envelope)
+            return up
+        return disposition == "held"
 
     def redeliver(self, node_id: str, payload: Any, src: str = "") -> None:
         """Put a dequeued-but-unhandled message back into the mailbox.

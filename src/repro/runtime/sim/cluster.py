@@ -1,0 +1,54 @@
+"""A pseudo-distributed cluster that lives entirely on the event loop.
+
+:class:`SimCluster` is a :class:`~repro.runtime.cluster.Cluster` whose
+network is a :class:`~repro.runtime.sim.network.SimNetwork` and whose
+``clock``/``scheduler`` attributes point at one shared seeded
+:class:`~repro.runtime.sim.scheduler.SimScheduler`.  Nodes built for
+the simulated path (e.g. :mod:`repro.systems.raftkv.sim`) spawn no
+threads: timers are scheduler events, message handling happens inside
+delivery callbacks, and the whole cluster advances only when the
+owner pumps the scheduler.  Fault scripts (``crash_node``,
+``restart_node``, ``partition``, ``heal`` …) are inherited unchanged —
+they manipulate the same network state, so a fault schedule reads the
+same on both paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster import Cluster, NodeFactory
+from .network import SimNetwork
+from .scheduler import SimScheduler
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster(Cluster):
+    """Single-threaded deterministic cluster over a seeded scheduler."""
+
+    def __init__(self, node_ids: Sequence[str], factory: NodeFactory,
+                 scheduler: SimScheduler, seed: str = "0",
+                 min_latency: float = 0.001, max_latency: float = 0.010):
+        super().__init__(node_ids, factory)
+        self.scheduler = scheduler
+        self.clock = scheduler.clock
+        self.network = SimNetwork(scheduler, seed=seed,
+                                  min_latency=min_latency,
+                                  max_latency=max_latency)
+
+    def run_until(self, deadline: float, max_events=None) -> int:
+        """Pump the event loop to ``deadline`` simulated seconds."""
+        return self.scheduler.run_until(deadline, max_events=max_events)
+
+    def run_for(self, duration: float, max_events=None) -> int:
+        return self.scheduler.run_for(duration, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    def __repr__(self) -> str:
+        up = sorted(self.nodes)
+        return (f"SimCluster({len(self.node_ids)} nodes, up={up}, "
+                f"t={self.clock.now():.3f})")

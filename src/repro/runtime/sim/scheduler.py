@@ -1,0 +1,167 @@
+"""The single seeded event loop that owns all simulated nondeterminism.
+
+Everything that *happens* in a simulated cluster — a timer firing, a
+message arriving, a fault being injected or healed — is a
+:class:`SimEvent` on one priority queue, dispatched strictly in order
+by the :class:`SimScheduler`.  The ordering contract (the heart of the
+``(seed, schedule)`` replay guarantee, see ``docs/RUNTIME.md``) is:
+
+1. **Time first** — events fire in ascending simulated timestamp; the
+   clock jumps directly to each event's instant (no busy waiting).
+2. **FIFO at equal timestamps** — events scheduled for the same
+   instant dispatch in the order they were scheduled (a monotonically
+   increasing sequence number breaks the tie).
+3. **Seeded tie-break on request** — an event scheduled with
+   ``jitter=True`` draws a *lane* from the scheduler's seeded RNG and
+   sorts by ``(time, lane, seq)``; callers use this to randomize
+   same-instant ordering (e.g. which election timer wins) while
+   keeping it a pure function of the seed.
+
+There are no threads and no wall-clock reads anywhere in this module:
+given the same seed and the same sequence of ``schedule()`` calls, two
+runs dispatch the identical event sequence at identical virtual times
+on any machine, any ``PYTHONHASHSEED``, any worker count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional
+
+from .clock import VirtualClock
+
+__all__ = ["SimEvent", "SimScheduler"]
+
+
+class SimEvent:
+    """One scheduled callback; cancellable, ordered by (time, lane, seq)."""
+
+    __slots__ = ("time", "lane", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, lane: float, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.lane = lane
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Unschedule: the event stays in the heap but never dispatches."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "SimEvent") -> bool:
+        return (self.time, self.lane, self.seq) < (other.time, other.lane, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"SimEvent(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class SimScheduler:
+    """Seeded deterministic event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, seed: str = "0", clock: Optional[VirtualClock] = None):
+        self.seed = str(seed)
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[SimEvent] = []
+        self._seq = itertools.count()
+        # The tie-break lane stream; string-seeded so it is independent
+        # of PYTHONHASHSEED (random.Random hashes the bytes, not the id).
+        self._rng = random.Random(f"{self.seed}:ties")
+        self.dispatched = 0
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 jitter: bool = False) -> SimEvent:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        Returns a cancellable handle.  ``jitter=True`` draws a seeded
+        lane so same-instant events dispatch in seeded random order
+        instead of FIFO.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s into the past")
+        lane = self._rng.random() if jitter else 0.0
+        event = SimEvent(self.clock.now() + delay, lane, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> SimEvent:
+        """Schedule ``fn`` at the current instant (after already-pending
+        events at this instant, by the FIFO rule)."""
+        return self.schedule(0.0, fn, *args)
+
+    # -- dispatch ------------------------------------------------------------
+    def _pop_live(self) -> Optional[SimEvent]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def run_next(self) -> bool:
+        """Dispatch the single next event; False when the queue is empty."""
+        event = self._pop_live()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self.dispatched += 1
+        fn, args = event.fn, event.args
+        event.fn, event.args = None, ()  # break cycles for gc
+        fn(*args)
+        return True
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> int:
+        """Dispatch every event with ``time <= deadline``, then advance
+        the clock to ``deadline``.  Returns the number dispatched."""
+        count = 0
+        while self._heap and (max_events is None or count < max_events):
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            self.run_next()
+            count += 1
+        if max_events is None or count < max_events:
+            if deadline > self.clock.now():
+                self.clock.advance_to(deadline)
+        return count
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Dispatch until the queue drains (or ``max_events``)."""
+        count = 0
+        while (max_events is None or count < max_events) and self.run_next():
+            count += 1
+        return count
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Dispatch events for ``duration`` simulated seconds from now."""
+        return self.run_until(self.clock.now() + duration, max_events=max_events)
+
+    # -- introspection -------------------------------------------------------
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when drained."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def __repr__(self) -> str:
+        return (f"SimScheduler(seed={self.seed!r}, now={self.clock.now():.6f}, "
+                f"pending={self.pending}, dispatched={self.dispatched})")

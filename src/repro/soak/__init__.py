@@ -1,0 +1,36 @@
+"""Soak-scale workloads on the deterministic simulation harness.
+
+``mocket soak`` drives the raftkv KV path with an open-loop seeded
+client generator on :mod:`repro.runtime.sim`: millions of simulated
+client operations, a seeded virtual-time nemesis schedule, periodic
+triage snapshots, and an always-on invariant monitor — all compressed
+from hours of simulated time into seconds of CPU.  A soak run is a
+pure function of ``(seed, schedule)``: the report is byte-identical
+for any ``--workers`` count and any ``PYTHONHASHSEED``, so a failure
+replays exactly (see ``docs/RUNTIME.md``).
+
+Workload sharding: a run is split over a *fixed* number of independent
+simulation shards (``--shards``, each its own cluster, scheduler and
+derived seed); ``--workers`` only chooses how many OS processes
+execute those shards concurrently and never changes a byte of output.
+
+No module in this package may read the wall clock
+(``tests/soak/test_no_wallclock_guard.py`` greps for violations);
+wall-clock throughput is measured by the CLI and benchmark layers
+around the simulation, never inside it.
+"""
+
+from .monitor import SoakMonitor
+from .nemesis import build_fault_schedule
+from .report import build_report, render_text
+from .runner import SoakConfig, run_shard, run_soak
+
+__all__ = [
+    "SoakConfig",
+    "SoakMonitor",
+    "build_fault_schedule",
+    "build_report",
+    "render_text",
+    "run_shard",
+    "run_soak",
+]

@@ -1,0 +1,139 @@
+"""The soak invariant monitor: end-to-end checking at soak scale.
+
+The testbed compares full shadow state after every step; at a million
+ops that is the wrong tool.  The soak monitor instead observes three
+cheap streams every simulated node reports —
+
+* **apply events** — each committed entry applied to a state machine,
+* **leader elections** — who won which term,
+* **commit advances** — the commit index moving on a node —
+
+and checks soak-scale invariants incrementally:
+
+* ``fingerprint_mismatch`` — at every checkpoint (each ``K`` applied
+  entries) a node's rolling state fingerprint must equal the first
+  fingerprint recorded for that index.  Committed-prefix agreement,
+  O(ops/K) memory.
+* ``dual_leader`` — at most one leader per term (election safety).
+* ``commit_regression`` — a node's commit index never moves backward
+  within an incarnation.
+* ``stalled`` — *simulated-time* liveness: the cluster made no apply
+  progress across a whole snapshot window although committable work
+  was pending, no network fault was active and every node was up.
+  Stalls are a property of the virtual clock, never of wall time.
+
+Divergences are recorded once per condition transition (not once per
+affected entry), with the virtual timestamp they fired at, and are
+deterministic: the same ``(seed, schedule)`` yields the same
+divergence list, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SoakMonitor", "DIVERGENCE_KINDS"]
+
+DIVERGENCE_KINDS = (
+    "fingerprint_mismatch",
+    "dual_leader",
+    "commit_regression",
+    "stalled",
+)
+
+# Keep at most this many full divergence records per shard; counts by
+# kind are always exact.
+MAX_RECORDED = 50
+
+
+class SoakMonitor:
+    """Observer attached to every node of one simulated shard."""
+
+    def __init__(self, expected_ops: int, checkpoint_every: int = 1000,
+                 clock: Optional[Any] = None):
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.clock = clock
+        # op_id -> acknowledged? (op ids are dense shard-local ints)
+        self._acked = bytearray(max(1, expected_ops))
+        self.acked = 0
+        self.applied_events = 0
+        self.leaders: Dict[int, str] = {}          # term -> winner
+        self.checkpoints: Dict[int, int] = {}      # applied index -> fp
+        self.divergences: List[Dict[str, Any]] = []
+        self.divergence_counts: Dict[str, int] = {}
+        self._diverged_fp_nodes = set()            # transition tracking
+        self._stalled = False
+
+    # -- node callbacks ------------------------------------------------------
+    def applied(self, node, index: int, entry) -> None:
+        self.applied_events += 1
+        # An op is acknowledged when it applies on the current leader
+        # (the commit point a client response would be sent from).
+        if node.role == "leader":
+            op_id = entry[1]
+            if 0 <= op_id < len(self._acked) and not self._acked[op_id]:
+                self._acked[op_id] = 1
+                self.acked += 1
+        if index % self.checkpoint_every == 0:
+            self._check_checkpoint(node, index)
+
+    def _check_checkpoint(self, node, index: int) -> None:
+        fp = node.kv_fp
+        expected = self.checkpoints.get(index)
+        if expected is None:
+            self.checkpoints[index] = fp
+            return
+        if fp != expected:
+            if node.node_id not in self._diverged_fp_nodes:
+                self._diverged_fp_nodes.add(node.node_id)
+                self._record("fingerprint_mismatch", node.node_id,
+                             f"checkpoint {index}: fp {fp:#018x} != "
+                             f"agreed {expected:#018x}")
+        else:
+            self._diverged_fp_nodes.discard(node.node_id)
+
+    def leader_elected(self, node, term: int) -> None:
+        prior = self.leaders.get(term)
+        if prior is not None and prior != node.node_id:
+            self._record("dual_leader", node.node_id,
+                         f"term {term} already won by {prior}")
+        else:
+            self.leaders[term] = node.node_id
+
+    def commit_advanced(self, node, old: int, new: int) -> None:
+        if new < old:
+            self._record("commit_regression", node.node_id,
+                         f"commit {old} -> {new}")
+
+    # -- runner hooks --------------------------------------------------------
+    def check_stall(self, progressed: bool, pending: int,
+                    disrupted: bool, all_up: bool) -> None:
+        """Called once per snapshot window by the shard runner.
+        ``pending`` counts entries the cluster could still commit or
+        apply (log tails, commit/apply lag) — simulated-time liveness
+        over actual remaining work, not wall-clock impatience."""
+        stalled_now = (not progressed and pending > 0
+                       and not disrupted and all_up)
+        if stalled_now and not self._stalled:
+            self._record("stalled", None,
+                         f"no apply progress, {pending} entries pending")
+        self._stalled = stalled_now
+
+    def _record(self, kind: str, node: Optional[str], detail: str) -> None:
+        self.divergence_counts[kind] = self.divergence_counts.get(kind, 0) + 1
+        if len(self.divergences) < MAX_RECORDED:
+            now = self.clock.now() if self.clock is not None else 0.0
+            self.divergences.append({
+                "kind": kind,
+                "sim_time": round(now, 6),
+                "node": node,
+                "detail": detail,
+            })
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(self.divergence_counts.values())
+
+    def counts_sorted(self) -> Dict[str, int]:
+        return {k: self.divergence_counts[k]
+                for k in sorted(self.divergence_counts)}

@@ -1,0 +1,92 @@
+"""Soak report assembly and rendering.
+
+The JSON report is the *canonical* artifact of a soak run: it contains
+only simulated-time quantities (never wall-clock readings, never the
+worker count), so the same ``(seed, schedule)`` produces the same
+bytes on any machine, any ``PYTHONHASHSEED``, any ``--workers`` —
+that is what the determinism guard diffs.  Wall-clock throughput is a
+*measurement about* the run, made by the CLI/benchmark layers, and is
+printed on the text path only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["build_report", "render_text", "totals"]
+
+
+def totals(shards: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate shard reports (shard order is fixed, so this is too)."""
+    by_kind: Dict[str, int] = {}
+    for shard in shards:
+        for kind, count in shard["divergences"].items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+    return {
+        "submitted": sum(s["submitted"] for s in shards),
+        "accepted": sum(s["accepted"] for s in shards),
+        "rejected": sum(s["rejected"] for s in shards),
+        "acked": sum(s["acked"] for s in shards),
+        "applied_events": sum(s["applied_events"] for s in shards),
+        "sim_time": round(sum(s["sim_time"] for s in shards), 6),
+        "divergences": {k: by_kind[k] for k in sorted(by_kind)},
+    }
+
+
+def build_report(config, shards: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The stable v1 soak envelope.  ``workers`` is deliberately absent:
+    it may not influence a single byte of this document."""
+    return {
+        "version": 1,
+        "kind": "soak",
+        "target": config.target,
+        "seed": config.seed,
+        "ops": config.ops,
+        "shards": config.shards,
+        "rate": config.rate,
+        "faults": config.faults,
+        "bug": config.bug,
+        "totals": totals(shards),
+        "shard_reports": list(shards),
+    }
+
+
+def render_text(report: Dict[str, Any],
+                wall_seconds: Optional[float] = None) -> str:
+    """Human summary; the only place wall-clock throughput may appear."""
+    lines: List[str] = []
+    t = report["totals"]
+    faults = "faults on" if report["faults"] else "no faults"
+    if report["bug"]:
+        faults += f", bug {report['bug']}"
+    lines.append(
+        f"soak {report['target']}: {report['shards']} shard(s), "
+        f"{report['ops']} ops (seed {report['seed']!r}, {faults})")
+    for shard in report["shard_reports"]:
+        div = sum(shard["divergences"].values())
+        lines.append(
+            f"  shard {shard['shard']}: {shard['submitted']} submitted, "
+            f"{shard['acked']} acked, {shard['rejected']} rejected, "
+            f"{div} divergence(s), {shard['sim_time']:.1f}s simulated")
+    lost = t["accepted"] - t["acked"]
+    lines.append(
+        f"soak: {t['submitted']} submitted, {t['acked']} acked "
+        f"({t['rejected']} rejected, {lost} lost unacked), "
+        f"{t['sim_time']:.1f}s simulated")
+    if t["divergences"]:
+        kinds = ", ".join(f"{k}={v}" for k, v in t["divergences"].items())
+        lines.append(f"divergences: {kinds}")
+        for shard in report["shard_reports"]:
+            for event in shard["divergence_events"][:3]:
+                node = event["node"] or "-"
+                lines.append(
+                    f"  !! shard {shard['shard']} t={event['sim_time']:.1f} "
+                    f"{event['kind']} node={node}: {event['detail']}")
+    else:
+        lines.append("divergences: none")
+    if wall_seconds is not None and wall_seconds > 0:
+        rate = t["submitted"] / wall_seconds
+        lines.append(
+            f"wall: {wall_seconds:.1f}s, {rate:,.0f} simulated ops/sec, "
+            f"{t['sim_time'] / wall_seconds:.0f}x real time")
+    return "\n".join(lines)

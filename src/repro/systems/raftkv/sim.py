@@ -1,0 +1,411 @@
+"""Simulation-native raftkv: event-driven Raft KV for soak-scale runs.
+
+The threaded :class:`~repro.systems.raftkv.node.RaftKvNode` mirrors
+Raft-java's *synchronous* RPC style — every call blocks its caller
+thread — which is exactly what the paper's testbed wants to control,
+and exactly what a single-threaded deterministic event loop cannot
+run.  :class:`SimRaftKvNode` is the same protocol rebuilt for the
+simulation harness (:mod:`repro.runtime.sim`): asynchronous messages,
+timers as scheduler events, batched AppendEntries, a list-based log
+with O(1) append, and zero threads.  It exists to serve ``mocket
+soak``'s open-loop workload at ≥1M client ops per run; the testbed
+path keeps driving the threaded node.
+
+Determinism: every random draw (election timeouts) comes from a
+string-seeded per-node, per-incarnation stream; all state-machine
+fingerprints are integer arithmetic (never the builtin ``hash``), so
+runs are bit-identical across machines and ``PYTHONHASHSEED``.  No
+wall-clock reads anywhere — enforced by
+``tests/soak/test_no_wallclock_guard.py``.
+
+One seeded soak bug ships behind a flag, mirroring how the Table-2
+bugs gate the threaded systems: ``bug_skip_apply`` makes one follower
+silently skip applying selected committed entries, a state-machine
+divergence only end-to-end checking catches (the soak monitor's
+checkpoint fingerprints, see :mod:`repro.soak.monitor`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from ...runtime.network import Envelope
+from ...runtime.node import Node
+from ...runtime.sim import SimCluster, SimScheduler
+
+__all__ = ["SimRaftKvConfig", "SimRaftKvNode", "make_sim_raftkv_cluster"]
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+# Log entries are integer 4-tuples (term, op_id, key, value); the mix
+# constants below fold one into a 64-bit rolling fingerprint without
+# ever touching PYTHONHASHSEED-dependent hashing.
+_FP_MASK = (1 << 64) - 1
+_FP_MULT = 1099511628211  # FNV-1a prime
+
+
+def entry_fingerprint(fp: int, index: int, entry: Sequence[int]) -> int:
+    """Fold ``entry`` (applied at 1-based ``index``) into rolling ``fp``."""
+    term, op_id, key, value = entry
+    h = (index * 0x9E3779B1) ^ (term * 0x85EBCA77) ^ (op_id * 0xC2B2AE3D) \
+        ^ (key * 0x27D4EB2F) ^ (value * 0x165667B1)
+    return ((fp ^ (h & _FP_MASK)) * _FP_MULT) & _FP_MASK
+
+
+class SimRaftKvConfig:
+    """Tunables for the simulated Raft KV cluster."""
+
+    def __init__(self,
+                 node_ids: Sequence[str] = ("n1", "n2", "n3"),
+                 seed: str = "0",
+                 election_timeout_min: float = 0.15,
+                 election_timeout_max: float = 0.30,
+                 heartbeat_interval: float = 0.05,
+                 batch_size: int = 256,
+                 check_quorum_rounds: Optional[int] = None,
+                 bug_skip_apply: bool = False,
+                 bug_skip_apply_node: Optional[str] = None,
+                 bug_skip_apply_every: int = 1000):
+        self.node_ids = list(node_ids)
+        self.seed = str(seed)
+        self.election_timeout_min = election_timeout_min
+        self.election_timeout_max = election_timeout_max
+        self.heartbeat_interval = heartbeat_interval
+        self.batch_size = batch_size
+        # Check-quorum (leader lease): a leader that cannot hear a
+        # majority for this many heartbeat rounds steps down, so a
+        # partitioned leader stops accepting writes it can never
+        # commit.  Default: one election timeout's worth of rounds.
+        if check_quorum_rounds is None:
+            check_quorum_rounds = max(
+                2, int(election_timeout_max / heartbeat_interval))
+        self.check_quorum_rounds = check_quorum_rounds
+        self.bug_skip_apply = bug_skip_apply
+        self.bug_skip_apply_node = bug_skip_apply_node or self.node_ids[-1]
+        self.bug_skip_apply_every = bug_skip_apply_every
+
+
+class SimRaftKvNode(Node):
+    """One event-driven Raft server + KV state machine."""
+
+    def __init__(self, node_id: str, cluster: SimCluster, config: SimRaftKvConfig):
+        super().__init__(node_id, cluster)
+        self.config = config
+        self.scheduler: SimScheduler = cluster.scheduler
+        # Per-node, per-incarnation timer stream: restarts draw fresh
+        # timeouts, but deterministically so.
+        self._rng = random.Random(
+            f"{config.seed}:{node_id}:{self.incarnation}:timers")
+        # Raft persistent state (storage survives restarts; the log is
+        # one shared list object, appended before any ack — durable).
+        self.current_term: int = self.storage.get("currentTerm", 0)
+        self.voted_for: Optional[str] = self.storage.get("votedFor")
+        log = self.storage.get("log")
+        if log is None:
+            log = []
+            self.storage.set("log", log)
+        self.log: List[tuple] = log
+        # Volatile state.
+        self.role = FOLLOWER
+        self.leader_hint: Optional[str] = None
+        self.commit_index = 0       # number of committed entries (1-based)
+        self.last_applied = 0
+        self.kv: Dict[int, int] = {}
+        self.kv_fp = 0              # rolling fingerprint of applied entries
+        self.applied_skipped = 0    # entries the seeded bug swallowed
+        self.votes_granted: set = set()
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._round_acks: set = set()
+        self._quorum_misses = 0
+        self._election_event = None
+        self._heartbeat_event = None
+        # The soak monitor attaches here (see repro.soak.monitor).
+        self.observer = getattr(cluster, "observer", None)
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_start(self) -> None:
+        self.network.attach_handler(self.node_id, self.handle_envelope)
+        self._arm_election_timer()
+
+    def on_stop(self) -> None:
+        self.network.detach_handler(self.node_id)
+        self._cancel_timer("_election_event")
+        self._cancel_timer("_heartbeat_event")
+
+    def _cancel_timer(self, attr: str) -> None:
+        event = getattr(self, attr)
+        if event is not None:
+            event.cancel()
+            setattr(self, attr, None)
+
+    # -- timers --------------------------------------------------------------
+    def _arm_election_timer(self) -> None:
+        self._cancel_timer("_election_event")
+        timeout = self._rng.uniform(self.config.election_timeout_min,
+                                    self.config.election_timeout_max)
+        self._election_event = self.scheduler.schedule(
+            timeout, self._on_election_timeout)
+
+    def _arm_heartbeat_timer(self) -> None:
+        self._cancel_timer("_heartbeat_event")
+        self._heartbeat_event = self.scheduler.schedule(
+            self.config.heartbeat_interval, self._on_heartbeat)
+
+    # -- persistence helpers -------------------------------------------------
+    def _persist_term_vote(self) -> None:
+        self.storage.set("currentTerm", self.current_term)
+        self.storage.set("votedFor", self.voted_for)
+
+    # -- role transitions ----------------------------------------------------
+    def _become_follower(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            self._persist_term_vote()
+        self.role = FOLLOWER
+        self._cancel_timer("_heartbeat_event")
+        self._arm_election_timer()
+
+    def _on_election_timeout(self) -> None:
+        self._election_event = None
+        if not self.started:
+            return
+        self.role = CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._persist_term_vote()
+        self.leader_hint = None
+        self.votes_granted = {self.node_id}
+        last_index = len(self.log)
+        last_term = self.log[-1][0] if self.log else 0
+        for peer in self.peers:
+            self.network.send(self.node_id, peer, {
+                "type": "vote_req", "term": self.current_term,
+                "candidate": self.node_id,
+                "last_log_index": last_index, "last_log_term": last_term,
+            })
+        self._arm_election_timer()
+
+    def _become_leader(self) -> None:
+        self.role = LEADER
+        self.leader_hint = self.node_id
+        self._cancel_timer("_election_event")
+        for peer in self.peers:
+            self.next_index[peer] = len(self.log)
+            self.match_index[peer] = 0
+        self._round_acks = {self.node_id}
+        self._quorum_misses = 0
+        # The §8 no-op: committing one entry of the new term is what
+        # lets the leader commit everything it inherited from earlier
+        # terms (§5.4.2) — without it a quiet cluster can never drain
+        # a leader change's tail.  op_id -1 marks it a no-op.
+        self.log.append((self.current_term, -1, -1, 0))
+        if self.observer is not None:
+            self.observer.leader_elected(self, self.current_term)
+        self._on_heartbeat()  # announce immediately
+
+    # -- replication ---------------------------------------------------------
+    def _on_heartbeat(self) -> None:
+        self._heartbeat_event = None
+        if not self.started or self.role is not LEADER:
+            return
+        # Check-quorum: count the peers heard from since the previous
+        # round; too many majority-free rounds means this leader is on
+        # the wrong side of a partition — step down instead of
+        # accepting writes that can never commit.
+        if len(self._round_acks) >= self.cluster.quorum_size:
+            self._quorum_misses = 0
+        else:
+            self._quorum_misses += 1
+            if self._quorum_misses >= self.config.check_quorum_rounds:
+                self._become_follower(self.current_term)
+                return
+        self._round_acks = {self.node_id}
+        for peer in self.peers:
+            self._send_append(peer)
+        self._arm_heartbeat_timer()
+
+    def _send_append(self, peer: str) -> None:
+        ni = self.next_index.get(peer, len(self.log))
+        entries = self.log[ni:ni + self.config.batch_size]
+        prev_term = self.log[ni - 1][0] if ni > 0 else 0
+        self.network.send(self.node_id, peer, {
+            "type": "append_req", "term": self.current_term,
+            "leader": self.node_id, "prev_index": ni, "prev_term": prev_term,
+            "entries": entries, "commit": self.commit_index,
+        })
+
+    def _advance_commit(self) -> None:
+        """Leader: commit the highest index replicated on a quorum that
+        belongs to the current term (Raft §5.4.2)."""
+        matches = sorted(list(self.match_index.values()) + [len(self.log)])
+        quorum_match = matches[len(matches) - self.cluster.quorum_size]
+        if quorum_match > self.commit_index and quorum_match > 0 \
+                and self.log[quorum_match - 1][0] == self.current_term:
+            self._set_commit(quorum_match)
+
+    def _set_commit(self, commit: int) -> None:
+        old = self.commit_index
+        self.commit_index = commit
+        if self.observer is not None:
+            self.observer.commit_advanced(self, old, commit)
+        self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        bug_here = (self.config.bug_skip_apply
+                    and self.node_id == self.config.bug_skip_apply_node)
+        while self.last_applied < self.commit_index:
+            entry = self.log[self.last_applied]
+            self.last_applied += 1
+            if entry[1] >= 0:
+                if bug_here and entry[1] % self.config.bug_skip_apply_every == 0:
+                    # Seeded soak bug: silently swallow this committed op.
+                    self.applied_skipped += 1
+                    continue
+                self.kv[entry[2]] = entry[3]
+            self.kv_fp = entry_fingerprint(self.kv_fp, self.last_applied, entry)
+            if self.observer is not None:
+                self.observer.applied(self, self.last_applied, entry)
+
+    # -- message handling ----------------------------------------------------
+    def handle_envelope(self, envelope: Envelope) -> None:
+        if not self.started:
+            return
+        msg = envelope.payload
+        kind = msg["type"]
+        term = msg["term"]
+        if term > self.current_term:
+            self._become_follower(term)
+        if kind == "vote_req":
+            self._on_vote_req(msg)
+        elif kind == "vote_resp":
+            self._on_vote_resp(msg)
+        elif kind == "append_req":
+            self._on_append_req(msg)
+        elif kind == "append_resp":
+            self._on_append_resp(msg)
+
+    def _on_vote_req(self, msg: Dict[str, Any]) -> None:
+        granted = False
+        if msg["term"] == self.current_term and \
+                self.voted_for in (None, msg["candidate"]):
+            last_term = self.log[-1][0] if self.log else 0
+            up_to_date = (msg["last_log_term"], msg["last_log_index"]) >= \
+                (last_term, len(self.log))
+            if up_to_date:
+                granted = True
+                self.voted_for = msg["candidate"]
+                self._persist_term_vote()
+                self._arm_election_timer()
+        self.network.send(self.node_id, msg["candidate"], {
+            "type": "vote_resp", "term": self.current_term,
+            "granted": granted, "voter": self.node_id,
+        })
+
+    def _on_vote_resp(self, msg: Dict[str, Any]) -> None:
+        if self.role is not CANDIDATE or msg["term"] != self.current_term:
+            return
+        if msg["granted"]:
+            self.votes_granted.add(msg["voter"])
+            if len(self.votes_granted) >= self.cluster.quorum_size:
+                self._become_leader()
+
+    def _on_append_req(self, msg: Dict[str, Any]) -> None:
+        if msg["term"] < self.current_term:
+            self.network.send(self.node_id, msg["leader"], {
+                "type": "append_resp", "term": self.current_term,
+                "ok": False, "follower": self.node_id,
+                "conflict": None, "match": 0,
+            })
+            return
+        # Valid leader for this term: stay/become follower, reset timer.
+        self.role = FOLLOWER
+        self.leader_hint = msg["leader"]
+        self._cancel_timer("_heartbeat_event")
+        self._arm_election_timer()
+        prev = msg["prev_index"]
+        if len(self.log) < prev or \
+                (prev > 0 and self.log[prev - 1][0] != msg["prev_term"]):
+            if len(self.log) < prev:
+                conflict = len(self.log)
+            else:
+                # Back off past the whole conflicting term in one hop
+                # (the §5.3 fast-backtracking optimization), so a long
+                # stale tail converges in rounds, not entries.
+                term_here = self.log[prev - 1][0]
+                conflict = prev - 1
+                while conflict > 0 and self.log[conflict - 1][0] == term_here:
+                    conflict -= 1
+            self.network.send(self.node_id, msg["leader"], {
+                "type": "append_resp", "term": self.current_term,
+                "ok": False, "follower": self.node_id,
+                "conflict": conflict, "match": 0,
+            })
+            return
+        for offset, entry in enumerate(msg["entries"]):
+            index = prev + offset
+            if index < len(self.log):
+                if self.log[index][0] != entry[0]:
+                    del self.log[index:]  # conflict: truncate the suffix
+                    self.log.append(entry)
+            else:
+                self.log.append(entry)
+        match = prev + len(msg["entries"])
+        leader_commit = min(msg["commit"], match) if msg["entries"] \
+            else min(msg["commit"], len(self.log))
+        if leader_commit > self.commit_index:
+            self._set_commit(leader_commit)
+        self.network.send(self.node_id, msg["leader"], {
+            "type": "append_resp", "term": self.current_term,
+            "ok": True, "follower": self.node_id,
+            "conflict": None, "match": match,
+        })
+
+    def _on_append_resp(self, msg: Dict[str, Any]) -> None:
+        if self.role is not LEADER or msg["term"] != self.current_term:
+            return
+        follower = msg["follower"]
+        self._round_acks.add(follower)
+        if msg["ok"]:
+            match = msg["match"]
+            if match > self.match_index.get(follower, 0):
+                self.match_index[follower] = match
+            self.next_index[follower] = max(self.next_index.get(follower, 0),
+                                            match)
+            self._advance_commit()
+        else:
+            conflict = msg["conflict"]
+            if conflict is not None:
+                self.next_index[follower] = min(
+                    self.next_index.get(follower, len(self.log)), conflict)
+
+    # -- client path ---------------------------------------------------------
+    def client_request(self, op_id: int, key: int, value: int) -> bool:
+        """Accept a client write (leader only).  The entry is appended
+        durably now and replicated on the next heartbeat batch; the op
+        counts as acknowledged once it *applies* on the leader."""
+        if self.role is not LEADER or not self.started:
+            return False
+        self.log.append((self.current_term, op_id, key, value))
+        return True
+
+    def __repr__(self) -> str:
+        return (f"SimRaftKvNode({self.node_id}, {self.role}, "
+                f"term={self.current_term}, log={len(self.log)}, "
+                f"commit={self.commit_index})")
+
+
+def make_sim_raftkv_cluster(config: Optional[SimRaftKvConfig] = None,
+                            scheduler: Optional[SimScheduler] = None) -> SimCluster:
+    """Build a simulated raftkv cluster on a seeded event loop."""
+    config = config or SimRaftKvConfig()
+    scheduler = scheduler or SimScheduler(config.seed)
+
+    def factory(node_id: str, cluster: SimCluster) -> SimRaftKvNode:
+        return SimRaftKvNode(node_id, cluster, config)
+
+    return SimCluster(config.node_ids, factory, scheduler, seed=config.seed)

@@ -171,3 +171,59 @@ class TestTriage:
         payload = triage(SuiteResult([result], 0.0), scenario.plan)
         assert payload["divergent"] == 0
         assert payload["unattributed"] == 0
+
+
+class TestClockInjection:
+    """Satellite regression: every fault-runner wait goes through an
+    injected clock, so the simulated path can compress backoff and
+    convergence windows to zero wall time."""
+
+    def test_default_clock_is_the_wall_clock(self):
+        from repro.runtime.clock import WALL_CLOCK
+
+        assert FaultConfig().clock is WALL_CLOCK
+
+    def test_converged_with_virtual_clock_costs_no_wall_time(self):
+        import time
+
+        from repro.core.testbed.statecheck import StateChecker
+        from repro.runtime.sim import VirtualClock
+
+        class NeverConverges(StateChecker):
+            def __init__(self):
+                self.polls = 0
+
+            def compare(self, expected):
+                self.polls += 1
+                return ["mismatch"]
+
+        clock = VirtualClock()
+        checker = NeverConverges()
+        start = time.monotonic()
+        mismatches = checker.converged(None, timeout=1000.0, poll=1.0,
+                                       clock=clock)
+        wall = time.monotonic() - start
+        assert mismatches == ["mismatch"]
+        assert clock.now() >= 1000.0          # the wait happened...
+        assert wall < 5.0                     # ...in virtual time only
+        assert checker.polls == 1001
+
+    def test_virtual_clock_backoff_stream_matches_wall_stream(self):
+        # the jitter draw order must not depend on which clock sleeps
+        import random
+
+        from repro.runtime.sim import VirtualClock
+
+        def draws(config):
+            rng = random.Random("p:1:backoff")
+            out = []
+            for attempt in range(1, config.retries + 1):
+                pause = config.backoff * attempt
+                if config.jitter:
+                    pause += rng.random() * config.jitter
+                out.append(pause)
+            return out
+
+        wall = FaultConfig(retries=3, jitter=0.05)
+        virtual = FaultConfig(retries=3, jitter=0.05, clock=VirtualClock())
+        assert draws(wall) == draws(virtual)

@@ -1,0 +1,115 @@
+"""Unit tests for the simulated network fabric.
+
+SimNetwork keeps the threaded Network's fault vocabulary (partition,
+hold, heal, crash-retained mailboxes) but delivers through seeded
+virtual-time events; these tests pin the delivery semantics the soak
+nemesis relies on.
+"""
+
+from repro.runtime.sim import SimNetwork, SimScheduler
+
+
+def make_net(seed="0", **kwargs):
+    sched = SimScheduler(seed)
+    net = SimNetwork(sched, seed=seed, **kwargs)
+    return sched, net
+
+
+class TestDelivery:
+    def test_send_schedules_delivery_within_latency_bounds(self):
+        sched, net = make_net(min_latency=0.001, max_latency=0.010)
+        got = []
+        net.attach_handler("b", lambda env: got.append(env.payload))
+        net.register("a")
+        assert net.send("a", "b", {"x": 1})
+        assert got == []  # not yet delivered: it is an event
+        at = sched.next_time()
+        assert 0.001 <= at <= 0.010
+        sched.run()
+        assert got == [{"x": 1}]
+        assert net.delivered_count == 1
+
+    def test_fixed_latency(self):
+        sched, net = make_net(min_latency=0.005, max_latency=0.005)
+        net.attach_handler("b", lambda env: None)
+        net.register("a")
+        net.send("a", "b", "hi")
+        assert sched.next_time() == 0.005
+
+    def test_latency_stream_is_seeded(self):
+        draws = {}
+        for run in range(2):
+            _sched, net = make_net(seed="lat")
+            draws[run] = [net._draw_latency() for _ in range(20)]
+        assert draws[0] == draws[1]
+
+    def test_send_to_unregistered_is_dead_letter(self):
+        sched, net = make_net()
+        net.register("a")
+        assert not net.send("a", "ghost", "lost")
+        sched.run()
+        assert len(net.dead_letters) == 1
+
+
+class TestFaults:
+    def test_partition_holds_and_heal_redelivers(self):
+        sched, net = make_net()
+        got = []
+        net.attach_handler("a", lambda env: None)
+        net.attach_handler("b", lambda env: got.append(env.payload))
+        net.partition([["a"], ["b"]])
+        assert net.send("a", "b", "held-msg")
+        sched.run()
+        assert got == []  # held, not delivered, not lost
+        sched.run_until(1.0)
+        assert net.heal() == 1
+        sched.run()
+        assert got == ["held-msg"]
+
+    def test_heal_latency_measured_from_heal_instant(self):
+        sched, net = make_net()
+        net.attach_handler("a", lambda env: None)
+        net.attach_handler("b", lambda env: None)
+        net.partition([["a"], ["b"]])
+        net.send("a", "b", "m")
+        sched.run_until(5.0)
+        net.heal()
+        assert 5.0 < sched.next_time() <= 5.0 + net.max_latency
+
+    def test_delay_link_holds_first_n(self):
+        sched, net = make_net()
+        got = []
+        net.attach_handler("a", lambda env: None)
+        net.attach_handler("b", lambda env: got.append(env.payload))
+        net.delay_link("a", "b", 2)
+        for i in range(3):
+            net.send("a", "b", i)
+        sched.run()
+        assert got == [2]  # first two held by the delay budget
+        net.heal()
+        sched.run()
+        assert sorted(got) == [0, 1, 2]
+
+
+class TestCrashSemantics:
+    def test_detach_retains_in_mailbox_until_reattach(self):
+        sched, net = make_net()
+        first, second = [], []
+        net.attach_handler("a", lambda env: None)
+        net.attach_handler("b", lambda env: first.append(env.payload))
+        net.send("a", "b", "before-crash")
+        sched.run()
+        assert first == ["before-crash"]
+
+        net.detach_handler("b")
+        net.register("b")  # mailbox exists again; no handler yet (down)
+        net.send("a", "b", "while-down-1")
+        net.send("a", "b", "while-down-2")
+        sched.run()
+        assert first == ["before-crash"]  # nothing reached the old handler
+
+        drained = net.attach_handler("b",
+                                     lambda env: second.append(env.payload))
+        assert drained == 2
+        sched.run()
+        assert second == ["while-down-1", "while-down-2"]

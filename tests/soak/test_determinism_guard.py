@@ -1,0 +1,61 @@
+"""Determinism guard: a `mocket soak` report must be byte-identical
+for any ``--workers`` count and any ``PYTHONHASHSEED``.
+
+The JSON soak report is the canonical replay artifact — triage
+snapshots, divergence events, and final state fingerprints all live in
+it — so the acceptance bar is the same as for fuzz corpora and fault
+plans: not one byte may move when the interpreter's hash seed or the
+runner's parallelism does.  The injected-bug variant proves a *failing*
+soak replays byte-identically too, which is what makes a soak
+divergence debuggable from ``(seed, schedule)`` alone.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def run_soak(hashseed, workers, *extra):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "soak", "raftkv",
+         "--ops", "4000", "--soak-seed", "9", "--shards", "4",
+         "--workers", str(workers), "--format", "json", *extra],
+        capture_output=True, text=True, env=env, timeout=300)
+    return proc
+
+
+@pytest.mark.slow
+class TestSoakDeterminism:
+    def test_clean_soak_bytes_identical_across_seeds_and_workers(self):
+        reports = {}
+        for hashseed in (0, 42):
+            for workers in (1, 4):
+                proc = run_soak(hashseed, workers)
+                assert proc.returncode == 0, proc.stderr
+                reports[(hashseed, workers)] = proc.stdout
+        assert len(set(reports.values())) == 1, (
+            "soak JSON report differs across PYTHONHASHSEED/--workers")
+
+    def test_faulted_bug_soak_replays_byte_identically(self):
+        """A soak that *fails* (injected bug, faults on) must still be
+        a pure function of (seed, schedule): same divergence events,
+        same snapshots, same fingerprints, byte for byte."""
+        reports = {}
+        for hashseed in (0, 42):
+            for workers in (1, 4):
+                proc = run_soak(hashseed, workers,
+                                "--faults", "--bug", "bug_skip_apply")
+                assert proc.returncode == 1, (
+                    f"bug run must report divergences\n{proc.stderr}")
+                reports[(hashseed, workers)] = proc.stdout
+        assert len(set(reports.values())) == 1, (
+            "divergent soak output differs across PYTHONHASHSEED/--workers")
+        assert "fingerprint_mismatch" in reports[(0, 1)]

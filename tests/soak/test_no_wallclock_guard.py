@@ -1,0 +1,69 @@
+"""Static guard: no wall-clock reads anywhere on the simulated path.
+
+The whole point of the deterministic simulation runtime is that time
+is a number owned by the scheduler; one stray ``time.monotonic()``
+makes results machine-dependent.  This guard greps the simulated-path
+sources for every wall-clock entry point Python offers and fails on
+any hit, so the property survives future edits without anyone having
+to remember it.
+"""
+
+import os
+import re
+
+import pytest
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro"))
+
+#: every module that may only ever observe virtual time
+SIMULATED_PATH = [
+    os.path.join(SRC, "runtime", "sim"),
+    os.path.join(SRC, "soak"),
+    os.path.join(SRC, "systems", "raftkv", "sim.py"),
+]
+
+FORBIDDEN = (
+    re.compile(r"^\s*import\s+time\b"),
+    re.compile(r"^\s*from\s+time\s+import\b"),
+    re.compile(r"\btime\.(time|monotonic|sleep|perf_counter|"
+               r"process_time|time_ns|monotonic_ns)\b"),
+    re.compile(r"^\s*(import|from)\s+datetime\b"),
+    re.compile(r"^\s*(import|from)\s+threading\b"),
+)
+
+
+def simulated_sources():
+    for entry in SIMULATED_PATH:
+        if os.path.isfile(entry):
+            yield entry
+            continue
+        for root, _dirs, files in os.walk(entry):
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+class TestNoWallClock:
+    def test_simulated_path_exists(self):
+        sources = list(simulated_sources())
+        assert len(sources) >= 7, sources  # sim package + soak + raftkv sim
+
+    def test_no_wallclock_reads_on_simulated_path(self):
+        hits = []
+        for path in simulated_sources():
+            with open(path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, 1):
+                    for pattern in FORBIDDEN:
+                        if pattern.search(line):
+                            rel = os.path.relpath(path, SRC)
+                            hits.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not hits, (
+            "wall-clock/thread use on the simulated path:\n"
+            + "\n".join(hits))
+
+    def test_virtual_clock_module_never_imports_time(self):
+        # belt and braces for the one module everything else leans on
+        path = os.path.join(SRC, "runtime", "sim", "clock.py")
+        source = open(path, encoding="utf-8").read()
+        assert "import time" not in source
